@@ -1,0 +1,66 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates the data behind one of the paper's tables or
+figures, prints the rows/series the paper reports, and writes them to
+``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be refreshed.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_SHOTS``     — shots per LER configuration (default 12000)
+* ``REPRO_BENCH_DISTANCES`` — comma-separated distances (default "3,5")
+* ``REPRO_BENCH_SEED``      — RNG seed (default 2025)
+
+The paper's full-scale runs used 100M shots and d up to 15 on 128 cores for
+days; these defaults finish on a laptop while preserving the comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_shots(default: int = 12_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_SHOTS", default))
+
+
+def bench_distances(default=(3, 5)) -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_DISTANCES")
+    if raw is None:
+        return tuple(default)
+    return tuple(int(x) for x in raw.split(",") if x.strip())
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", 2025))
+
+
+def record(name: str, data) -> None:
+    """Persist benchmark output and echo it for the harness log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, default=_jsonable)
+    print(f"\n[{name}] -> {path}")
+
+
+def _jsonable(obj):
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if hasattr(obj, "__dict__"):
+        return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+    return str(obj)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Fig. 1(c): repetition-code LER vs idling period before the final round."""
+
+from repro.experiments.figures import fig1c_repetition_idle
+
+from _helpers import bench_seed, bench_shots, record, run_once
+
+
+def test_fig1c_repetition_idle(benchmark):
+    data = run_once(
+        benchmark,
+        fig1c_repetition_idle,
+        shots=bench_shots(20_000),
+        rng=bench_seed(),
+    )
+    rows = sorted(data.items())
+    print("\nidle_ns   LER(|0>_L)   LER(|1>_L)")
+    for idle, rates in rows:
+        print(f"{idle:7.0f}   {rates['zero']:.4f}      {rates['one']:.4f}")
+    record("fig1c", {str(k): v for k, v in data.items()})
+
+    # shape: LER grows sharply with the idling period (paper: 1e-2 -> ~1e-1)
+    first = data[min(data)]["zero"]
+    last = data[max(data)]["zero"]
+    assert last > 1.5 * first
+    # the two logical preparations behave alike
+    for rates in data.values():
+        assert abs(rates["zero"] - rates["one"]) < 0.05

@@ -1,0 +1,17 @@
+"""Fig. 10: extra rounds needed for synchronization — exact paper values."""
+
+from repro.experiments.figures import fig10_extra_rounds_configs
+
+from _helpers import record, run_once
+
+PAPER_VALUES = [None, 5, 11, 22, 26, 52, 34, 68]
+
+
+def test_fig10_extra_rounds(benchmark):
+    rows = run_once(benchmark, fig10_extra_rounds_configs)
+    print("\nT_P    T_P'   tau    extra rounds (paper)")
+    for row, paper in zip(rows, PAPER_VALUES):
+        shown = "Not possible" if row["extra_rounds"] is None else row["extra_rounds"]
+        print(f"{row['t_p']:5d} {row['t_pp']:6d} {row['tau']:5d}   {shown} ({paper})")
+    record("fig10", rows)
+    assert [row["extra_rounds"] for row in rows] == PAPER_VALUES

@@ -1,0 +1,25 @@
+"""Fig. 11: Hybrid-policy feasibility heatmap over (tau, T_P') for two eps."""
+
+from repro.experiments.figures import fig11_hybrid_heatmap
+
+from _helpers import record, run_once
+
+
+def test_fig11_hybrid_heatmap(benchmark):
+    grids = run_once(benchmark, fig11_hybrid_heatmap)
+    summary = {}
+    for eps, grid in grids.items():
+        solvable = sum(1 for v in grid.values() if v is not None)
+        total = len(grid)
+        summary[str(eps)] = {"solvable": solvable, "total": total}
+        print(f"\neps={eps} ns: {solvable}/{total} (tau, T_P') cells solvable within z<=5")
+    record("fig11", summary)
+
+    # paper shape: a larger tolerance opens up many more configurations
+    assert summary["400"]["solvable"] > 2 * summary["100"]["solvable"]
+    # every recorded z obeys the z <= 5 bound used in the paper
+    for grid in grids.values():
+        assert all(v is None or 1 <= v <= 5 for v in grid.values())
+    # equal cycle times are never solvable by extra rounds
+    for grid in grids.values():
+        assert all(v is None for (tau, tpp), v in grid.items() if tpp == 1000)

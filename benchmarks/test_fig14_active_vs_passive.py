@@ -1,0 +1,61 @@
+"""Fig. 14: LER reduction of Active over Passive synchronization.
+
+The paper sweeps d = 3..15 at 100M shots on IBM- and Google-like systems for
+both lattice-surgery bases; reductions grow from ~1x at d=3 to up to 2.4x at
+d=15.  Defaults here cover d in {3, 5} on both systems for the Z basis (the X
+basis is symmetric by construction and covered by the test suite).
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig14_active_vs_passive
+from repro.noise import GOOGLE, IBM
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def _run(benchmark, hardware, tag, shots):
+    rows = run_once(
+        benchmark,
+        fig14_active_vs_passive,
+        distances=bench_distances(),
+        taus_ns=(500.0, 1000.0),
+        shots=shots,
+        hardware=hardware,
+        rng=bench_seed(),
+    )
+    print(f"\n{tag}: d  tau    obs     LER_passive  LER_active  reduction")
+    for r in rows:
+        print(
+            f"  {r['distance']}  {r['tau_ns']:6.0f} {r['observable']:7s} "
+            f"{r['ler_passive']:.5f}     {r['ler_active']:.5f}    {r['reduction']:.2f}x"
+        )
+    record(f"fig14_{tag}", rows)
+    return rows
+
+
+def test_fig14_ibm(benchmark):
+    # IBM LERs are ~4x lower than Google's at equal d: the d=5 contrast is
+    # ~1.1-1.2x against a per-seed scatter of +-20% even at 100k shots (see
+    # the multi-seed spot-check in EXPERIMENTS.md).  Certifying the direction
+    # at bench scale would need ~300k+ shots, so this twin records the data
+    # and asserts sanity bounds; the Google twin carries the direction claim.
+    rows = _run(benchmark, IBM, "ibm", shots=4 * bench_shots())
+    reductions = [r["reduction"] for r in rows if np.isfinite(r["reduction"])]
+    assert all(0.4 < v < 4.0 for v in reductions)
+    assert np.mean(reductions) > 0.8
+
+
+def test_fig14_google(benchmark):
+    rows = _run(benchmark, GOOGLE, "google", shots=bench_shots())
+    # shape: Active never loses badly, and wins on average; the contrast is
+    # strongest at the largest distance (the paper's rising curves)
+    reductions = [r["reduction"] for r in rows if np.isfinite(r["reduction"])]
+    assert np.mean(reductions) > 1.0
+    d_max = max(r["distance"] for r in rows)
+    top = [r["reduction"] for r in rows if r["distance"] == d_max and np.isfinite(r["reduction"])]
+    assert np.mean(top) > 1.0
+    # the larger slack shows the larger (or equal) benefit on the same d/obs
+    by_key = {(r["distance"], r["observable"], r["tau_ns"]): r["reduction"] for r in rows}
+    big_tau = [v for (d, o, t), v in by_key.items() if t == 1000.0]
+    assert np.mean(big_tau) >= 0.9 * np.mean(reductions)

@@ -1,0 +1,32 @@
+"""Fig. 15: cost of synchronization vs the ideal (never-desynchronized) system."""
+
+from repro.experiments.figures import fig15_cost_of_synchronization
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def test_fig15_cost_of_sync(benchmark):
+    rows = run_once(
+        benchmark,
+        fig15_cost_of_synchronization,
+        distances=bench_distances(),
+        tau_ns=1000.0,
+        shots=bench_shots(),
+        rng=bench_seed(),
+    )
+    print("\nd  policy   LER(joint)   LER(single)")
+    for r in rows:
+        print(f"{r['distance']}  {r['policy']:8s} {r['ler_joint']:.5f}   {r['ler_single']:.5f}")
+    record("fig15", rows)
+
+    by_key = {(r["distance"], r["policy"]): r["ler_joint"] for r in rows}
+    distances = sorted({r["distance"] for r in rows})
+    # at small d the three curves are within shot noise of each other (as in
+    # the paper's Fig. 15 left edge); the ordering binds at the largest d
+    d = distances[-1]
+    assert by_key[(d, "ideal")] <= by_key[(d, "active")] * 1.2
+    assert by_key[(d, "active")] <= by_key[(d, "passive")] * 1.15
+    # active sits closer to ideal than passive does (the paper's headline)
+    gaps_active = sum(by_key[(d, "active")] - by_key[(d, "ideal")] for d in distances)
+    gaps_passive = sum(by_key[(d, "passive")] - by_key[(d, "ideal")] for d in distances)
+    assert gaps_active < gaps_passive

@@ -1,0 +1,36 @@
+"""Fig. 16: relative increase in final program LER, Passive vs Active."""
+
+from repro.experiments.figures import fig16_workload_ler_increase
+
+from _helpers import bench_seed, bench_shots, record, run_once
+
+
+def test_fig16_workload_ler(benchmark):
+    rows = run_once(
+        benchmark,
+        fig16_workload_ler_increase,
+        distance=bench_distances_first(),
+        shots=bench_shots(),
+        rng=bench_seed(),
+    )
+    print("\nworkload        sync/cycle  passive(tau=1us)  passive(tau=0.5us)  active")
+    for r in rows:
+        print(
+            f"{r['workload']:14s} {r['syncs_per_cycle']:9.2f}  "
+            f"{r['passive_tau1000']:12.2f}x  {r['passive_tau500']:13.2f}x  {r['active']:6.2f}x"
+        )
+    record("fig16", rows)
+
+    for r in rows:
+        # passive costs at least as much as active (up to per-point shot noise)
+        assert r["passive_tau1000"] >= 0.85 * r["active"]
+        assert r["passive_tau1000"] >= r["passive_tau500"] - 0.5
+    # synchronization-hungry workloads suffer the most under Passive
+    by_name = {r["workload"]: r for r in rows}
+    assert by_name["qft-80"]["passive_tau1000"] > by_name["ising-98"]["passive_tau1000"]
+
+
+def bench_distances_first():
+    from _helpers import bench_distances
+
+    return bench_distances()[-1]

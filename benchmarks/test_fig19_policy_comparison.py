@@ -1,0 +1,35 @@
+"""Fig. 19: Active vs Extra Rounds vs Hybrid(eps) with unequal cycle times."""
+
+from repro.experiments.figures import fig19_policy_comparison
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def test_fig19_policy_comparison(benchmark):
+    rows = run_once(
+        benchmark,
+        fig19_policy_comparison,
+        distance=bench_distances()[-1],
+        taus_ns=(500.0, 1000.0),
+        eps_values_ns=(100.0, 400.0),
+        shots=bench_shots(),
+        t_pp_values_ns=(1050.0, 1150.0),
+        rng=bench_seed(),
+    )
+    print("\npolicy          tau     reduction vs passive")
+    for r in rows:
+        print(f"{r['policy']:14s} {r['tau_ns']:6.0f}  {r['reduction']:.2f}x")
+    record("fig19", rows)
+
+    by_key = {(r["policy"], r["tau_ns"]): r["reduction"] for r in rows}
+    # every policy's reduction is a sane positive ratio
+    assert all(0.02 < v < 10 for v in by_key.values())
+    # the paper's headline for large tau: hybrid (generous eps) beats pure
+    # extra rounds, which pays for its dozens of extra rounds
+    if ("hybrid@400.0", 1000.0) in by_key and ("extra_rounds", 1000.0) in by_key:
+        assert by_key[("hybrid@400.0", 1000.0)] > by_key[("extra_rounds", 1000.0)]
+    # active must be competitive at small tau
+    assert by_key[("active", 500.0)] > 0.75
+    # a looser tolerance can only help the hybrid policy
+    if ("hybrid@100.0", 1000.0) in by_key:
+        assert by_key[("hybrid@400.0", 1000.0)] >= 0.7 * by_key[("hybrid@100.0", 1000.0)]

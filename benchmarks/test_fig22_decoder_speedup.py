@@ -1,0 +1,36 @@
+"""Fig. 22: decode-latency speedup from Active synchronization (LUT + MWPM)."""
+
+from repro.experiments.figures import fig22_decoder_speedup
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def test_fig22_decoder_speedup(benchmark):
+    rows = run_once(
+        benchmark,
+        fig22_decoder_speedup,
+        distances=bench_distances((3, 5)),
+        tau_ns=1000.0,
+        shots=min(bench_shots(), 4000),
+        rng=bench_seed(),
+    )
+    print("\nd  hit(passive)  hit(active)  speedup")
+    for r in rows:
+        print(
+            f"{r['distance']}  {r['hit_rate_passive']:.3f}        "
+            f"{r['hit_rate_active']:.3f}       {r['speedup']:.3f}x"
+        )
+    record("fig22", rows)
+
+    for r in rows:
+        # Active's flatter per-round syndromes hit the LUT at least as often
+        assert r["hit_rate_active"] >= r["hit_rate_passive"] - 0.005
+        if r["distance"] <= 3:
+            # paper's d=3 regime: the LUT captures almost everything for both
+            # policies, so the speedup hovers near parity (their 1.03x)
+            assert 0.9 < r["speedup"] < 2.0
+        else:
+            # at d>=5 Passive's merge-round spike overflows the LUT more often,
+            # so Active decodes strictly faster (paper: 2.28x at d=5; the spike
+            # amplitude — hence the gap — grows with patch size)
+            assert r["speedup"] > 1.0

@@ -1,0 +1,36 @@
+"""Table 1: logical-error counts, Passive vs Active, per distance and slack."""
+
+from repro.experiments.figures import table1_error_counts
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def test_table1_error_counts(benchmark):
+    table = run_once(
+        benchmark,
+        table1_error_counts,
+        distances=bench_distances(),
+        slacks_ns=(500.0, 1000.0),
+        shots=bench_shots(),
+        rng=bench_seed(),
+    )
+    print("\nslack   d   errors(passive)  errors(active)  %reduction")
+    for row in table:
+        print(
+            f"{row['slack_ns']:5.0f} {row['distance']:3d}   "
+            f"{row['errors_passive']:10d}   {row['errors_active']:12d}   "
+            f"{row['pct_reduction']:6.1f}%"
+        )
+    record("table1", table)
+
+    # paper shape: Active reduces the error count in aggregate, and errors
+    # drop with distance for both policies
+    total_p = sum(r["errors_passive"] for r in table)
+    total_a = sum(r["errors_active"] for r in table)
+    assert total_a < total_p
+    for slack in (500.0, 1000.0):
+        rows = sorted(
+            (r for r in table if r["slack_ns"] == slack), key=lambda r: r["distance"]
+        )
+        counts = [r["errors_passive"] for r in rows]
+        assert counts == sorted(counts, reverse=True)

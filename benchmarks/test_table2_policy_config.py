@@ -1,0 +1,41 @@
+"""Table 2: the worked configuration T_P=1000, T_P'=1325, tau=1000, eps=400."""
+
+from repro.experiments.figures import table2_policy_configuration
+
+from _helpers import bench_seed, bench_shots, record, run_once
+
+
+def test_table2_policy_config(benchmark):
+    rows = run_once(
+        benchmark,
+        table2_policy_configuration,
+        shots=bench_shots(),
+        distance=bench_distances_last(),
+        rng=bench_seed(),
+    )
+    print("\npolicy        idle(ns)  extra_rounds  LER")
+    for r in rows:
+        print(f"{r['policy']:12s} {r['idle_ns']:7.0f}  {r['extra_rounds']:10d}  {r['ler']:.5f}")
+    record("table2", rows)
+
+    by_policy = {r["policy"]: r for r in rows}
+    # the schedule arithmetic must match the paper's Table 2 exactly
+    assert by_policy["active"]["idle_ns"] == 1000.0
+    assert by_policy["active"]["extra_rounds"] == 0
+    assert by_policy["extra_rounds"]["idle_ns"] == 0.0
+    assert by_policy["extra_rounds"]["extra_rounds"] == 52
+    assert by_policy["hybrid"]["idle_ns"] == 300.0
+    assert by_policy["hybrid"]["extra_rounds"] == 4
+    # LER shape: the pure extra-rounds policy pays dearly for its 52 rounds
+    # (paper: 4.2x worse than Active); Hybrid stays in Active's band.  The
+    # hybrid<active separation itself (paper: 1.47x at d=7, 20M shots) is not
+    # resolvable at laptop shots/d=5 — see EXPERIMENTS.md.
+    assert by_policy["extra_rounds"]["ler"] > 2.0 * by_policy["active"]["ler"]
+    assert by_policy["hybrid"]["ler"] < 0.7 * by_policy["extra_rounds"]["ler"]
+    assert by_policy["hybrid"]["ler"] <= by_policy["active"]["ler"] * 1.6
+
+
+def bench_distances_last():
+    from _helpers import bench_distances
+
+    return bench_distances()[-1]

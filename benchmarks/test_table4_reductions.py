@@ -1,0 +1,35 @@
+"""Table 4: mean LER reduction of Active / Extra Rounds / Hybrid vs Passive."""
+
+from repro.experiments.figures import table4_mean_reductions
+
+from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+
+
+def test_table4_mean_reductions(benchmark):
+    rows = run_once(
+        benchmark,
+        table4_mean_reductions,
+        distances=(bench_distances()[-1],),
+        tau_ns=1000.0,
+        shots=bench_shots(),
+        t_pp_values_ns=(1050.0, 1150.0),
+        rng=bench_seed(),
+    )
+    print("\nd   active   extra_rounds   hybrid(eps=400)")
+    for r in rows:
+        print(
+            f"{r['distance']}   {r['active']:.2f}x   {r['extra_rounds']:.2f}x"
+            f"        {r['hybrid']:.2f}x"
+        )
+    record("table4", rows)
+
+    for r in rows:
+        # Active and Hybrid must at least be competitive with Passive
+        assert r["active"] > 0.8
+        assert r["hybrid"] > 0.8
+        assert r["hybrid"] >= 0.7 * r["active"]
+        # paper ordering at tau=1000 holds for the weakest policy: pure extra
+        # rounds trails both (Table 4: 1.63 < 2.14 < 3.4 at d=15; at small d
+        # the tens of extra rounds cost even more, so the gap widens)
+        assert r["extra_rounds"] < r["hybrid"]
+        assert r["extra_rounds"] < r["active"]

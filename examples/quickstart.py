@@ -1,0 +1,39 @@
+"""Quickstart: compare Passive vs Active synchronization on one merge.
+
+Builds the paper's core experiment (Fig. 13): two distance-5 surface-code
+patches on a Google-like system, desynchronized by 1000 ns, merged through
+lattice surgery.  Prints the logical error rate of the joint measurement
+under each synchronization policy.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GOOGLE, SurgeryLerConfig, make_policy, run_surgery_ler
+
+DISTANCE = 5
+TAU_NS = 1000.0
+SHOTS = 20_000
+
+
+def main() -> None:
+    print(f"distance={DISTANCE}, slack={TAU_NS:.0f} ns, {SHOTS} shots, Google-like system")
+    print(f"{'policy':10s} {'LER (X_P X_P)':>14s} {'LER (X_P)':>11s}  95% CI (joint)")
+    results = {}
+    for name in ("ideal", "passive", "active"):
+        config = SurgeryLerConfig(
+            distance=DISTANCE, hardware=GOOGLE, policy_name=name, tau_ns=TAU_NS
+        )
+        res = run_surgery_ler(config, make_policy(name), SHOTS, rng=7)
+        joint = res.observable(1)
+        single = res.observable(0)
+        lo, hi = joint.interval
+        results[name] = joint.rate
+        print(f"{name:10s} {joint.rate:14.5f} {single.rate:11.5f}  [{lo:.5f}, {hi:.5f}]")
+
+    reduction = results["passive"] / results["active"] if results["active"] else float("inf")
+    print(f"\nActive reduces the joint LER by {reduction:.2f}x over Passive "
+          f"(the paper reports up to 2.4x at d=15 with 100M shots).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Scenario: how often will *your* program synchronize, and what does it cost?
+
+Walks the paper's workload-level story end to end:
+
+1. build the six MQTBench-style benchmarks (or parse your own QASM),
+2. estimate logical resources (T counts, cycles) — the Azure-QRE substitute,
+3. derive the synchronizations-per-cycle lower bound (Fig. 3c), and
+4. project the program-level LER increase of choosing Passive over Active
+   (Fig. 16) using measured per-operation LERs.
+
+Run:  python examples/workload_analysis.py
+"""
+
+from repro import IBM, SurgeryLerConfig, make_policy, run_surgery_ler
+from repro.workloads import (
+    parse_qasm,
+    program_ler_increase,
+    estimate_resources,
+    syncs_per_cycle_table,
+)
+
+SHOTS = 15_000
+DISTANCE = 3
+
+
+def main() -> None:
+    table = syncs_per_cycle_table()
+    print("workload        qubits  T-count   cycles   syncs/cycle")
+    for est in table:
+        r = est.resources
+        print(
+            f"{est.name:14s} {r.logical_qubits:6d} {r.t_count:8d} "
+            f"{est.total_cycles:8d} {est.syncs_per_cycle:11.2f}"
+        )
+
+    # per-operation LERs measured on the simulator
+    lers = {}
+    for name in ("ideal", "passive", "active"):
+        config = SurgeryLerConfig(
+            distance=DISTANCE, hardware=IBM, policy_name=name, tau_ns=1000.0
+        )
+        lers[name] = run_surgery_ler(config, make_policy(name), SHOTS, rng=3).observable(1).rate
+    print(f"\nper-merge LER  ideal={lers['ideal']:.5f}  passive={lers['passive']:.5f} "
+          f"active={lers['active']:.5f}")
+
+    print("\nprojected final-LER increase vs an ideal system (Fig. 16 model):")
+    print("workload         passive   active")
+    for est in table:
+        inc_p = program_ler_increase(est.syncs_per_cycle, lers["passive"], lers["ideal"])
+        inc_a = program_ler_increase(est.syncs_per_cycle, lers["active"], lers["ideal"])
+        print(f"{est.name:14s} {inc_p:8.2f}x {inc_a:8.2f}x")
+
+    # bonus: the same pipeline accepts OpenQASM 2 input directly
+    qasm = """
+    OPENQASM 2.0;
+    qreg q[4]; creg c[4];
+    h q[0]; cx q[0],q[1]; rz(pi/8) q[1]; ccx q[0],q[1],q[2];
+    measure q -> c;
+    """
+    custom = estimate_resources(parse_qasm(qasm, name="custom"), code_distance=15)
+    print(f"\ncustom QASM circuit: T-count={custom.t_count}, "
+          f"cycles={custom.total_cycles}, syncs/cycle={custom.syncs_per_cycle:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim so editable installs work without the `wheel` package (offline env)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Dense GF(2) linear algebra on numpy bool/uint8 matrices.
+
+Used by the CSS-code machinery to validate check matrices, count logical
+qubits, and construct logical operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["row_reduce", "rank", "nullspace", "in_rowspace"]
+
+
+def _as_gf2(mat) -> np.ndarray:
+    return (np.asarray(mat, dtype=np.uint8) & 1).astype(np.uint8)
+
+
+def row_reduce(mat) -> tuple[np.ndarray, list[int]]:
+    """Row-reduce over GF(2); returns (reduced matrix, pivot column list)."""
+    a = _as_gf2(mat).copy()
+    rows, cols = a.shape
+    pivots: list[int] = []
+    r = 0
+    for c in range(cols):
+        if r >= rows:
+            break
+        hot = np.flatnonzero(a[r:, c]) + r
+        if hot.size == 0:
+            continue
+        p = int(hot[0])
+        if p != r:
+            a[[r, p]] = a[[p, r]]
+        # eliminate everywhere else
+        others = np.flatnonzero(a[:, c])
+        for o in others:
+            if o != r:
+                a[o] ^= a[r]
+        pivots.append(c)
+        r += 1
+    return a, pivots
+
+
+def rank(mat) -> int:
+    """GF(2) rank."""
+    _, pivots = row_reduce(mat)
+    return len(pivots)
+
+
+def nullspace(mat) -> np.ndarray:
+    """Basis of the right nullspace over GF(2), one vector per row."""
+    a = _as_gf2(mat)
+    rows, cols = a.shape
+    reduced, pivots = row_reduce(a)
+    free = [c for c in range(cols) if c not in pivots]
+    basis = np.zeros((len(free), cols), dtype=np.uint8)
+    for k, f in enumerate(free):
+        basis[k, f] = 1
+        # back-substitute: pivot row i has its pivot at pivots[i]
+        for i, pc in enumerate(pivots):
+            if reduced[i, f]:
+                basis[k, pc] = 1
+    return basis
+
+
+def in_rowspace(mat, vector) -> bool:
+    """True when ``vector`` lies in the GF(2) row space of ``mat``."""
+    a = _as_gf2(mat)
+    v = _as_gf2(vector).reshape(1, -1)
+    return rank(a) == rank(np.vstack([a, v]))

@@ -1,0 +1,63 @@
+"""Small shared utilities: RNG handling, bit packing, probability algebra."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "resolve_rng",
+    "xor_probability",
+    "combine_flip_probabilities",
+    "pack_bits",
+    "unpack_bits",
+    "env_int",
+    "env_float",
+]
+
+
+def resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Return a numpy Generator from a Generator, a seed, or None (fresh entropy)."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def xor_probability(p: float, q: float) -> float:
+    """Probability that exactly one of two independent events occurs."""
+    return p * (1.0 - q) + q * (1.0 - p)
+
+
+def combine_flip_probabilities(probs) -> float:
+    """Probability that an odd number of independent flips occur.
+
+    Uses the identity P(odd) = (1 - prod(1 - 2 p_i)) / 2.
+    """
+    acc = 1.0
+    for p in probs:
+        acc *= 1.0 - 2.0 * float(p)
+    return (1.0 - acc) / 2.0
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean array along its last axis into uint8 words."""
+    return np.packbits(np.asarray(bits, dtype=bool), axis=-1)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; ``n`` is the original last-axis length."""
+    out = np.unpackbits(np.asarray(words, dtype=np.uint8), axis=-1)
+    return out[..., :n].astype(bool)
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer knob from the environment (used by benchmarks to scale shots)."""
+    raw = os.environ.get(name)
+    return default if raw is None else int(raw)
+
+
+def env_float(name: str, default: float) -> float:
+    """Float knob from the environment."""
+    raw = os.environ.get(name)
+    return default if raw is None else float(raw)

@@ -1,0 +1,72 @@
+"""Speculative leakage-reduction circuits as a desynchronization source.
+
+Sec. 3.2 lists speculative execution of leakage-reduction circuits (LRCs,
+the ERASER approach the paper cites) among the "other sources": a patch that
+speculatively inserts an LRC extends *that* cycle by the LRC duration, so
+cycle lengths become stochastic and two identical patches drift apart even
+with identical nominal clocks.
+
+:func:`leakage_slack_distribution` samples that drift: each patch extends
+each cycle independently with probability ``p_lrc``; after ``rounds`` rounds
+the phase difference (mod the nominal cycle) is the synchronization slack a
+merge at that moment must absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import resolve_rng
+from ..noise.hardware import HardwareConfig
+from .cultivation import SlackDistribution
+
+__all__ = ["LrcModel", "leakage_slack_distribution"]
+
+
+@dataclass(frozen=True)
+class LrcModel:
+    """Speculative leakage-reduction insertion model."""
+
+    #: probability a given patch speculatively runs an LRC in a given cycle
+    p_lrc: float = 0.05
+    #: duration of one LRC insertion (a swap-based LRC costs ~2 CNOT layers
+    #: plus a reset)
+    lrc_duration_ns: float | None = None
+
+    def duration_ns(self, hw: HardwareConfig) -> float:
+        """Duration of one LRC insertion on hardware ``hw``."""
+        if self.lrc_duration_ns is not None:
+            return self.lrc_duration_ns
+        return 2 * hw.time_2q_ns + hw.time_reset_ns
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_lrc <= 1:
+            raise ValueError("LRC probability must lie in [0, 1]")
+
+
+def leakage_slack_distribution(
+    hw: HardwareConfig,
+    rounds: int,
+    shots: int = 100_000,
+    *,
+    model: LrcModel | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> SlackDistribution:
+    """Slack between two patches after ``rounds`` of speculative LRCs.
+
+    Both patches share the nominal cycle; each independently extends each of
+    its ``rounds`` cycles with probability ``p_lrc``.  Returns the absolute
+    phase difference folded into one nominal cycle.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    model = model or LrcModel()
+    rng = resolve_rng(rng)
+    duration = model.duration_ns(hw)
+    extensions_a = rng.binomial(rounds, model.p_lrc, size=shots)
+    extensions_b = rng.binomial(rounds, model.p_lrc, size=shots)
+    drift = np.abs(extensions_a - extensions_b) * duration
+    slack = drift % hw.cycle_time_ns
+    return SlackDistribution(samples_ns=slack)

@@ -1,0 +1,50 @@
+"""qLDPC-memory / surface-code slack accumulation (Sec. 3.4.2, Fig. 4b).
+
+Bivariate-bicycle qLDPC codes need 7 CNOT layers per syndrome cycle versus
+the surface code's 4, so a qLDPC memory patch and a surface-code compute
+patch that start aligned drift apart by ``T_qldpc - T_surface`` every round.
+Teleporting a logical qubit between the codes requires their cycles to
+align, so the slack at round ``r`` is that drift modulo the surface cycle —
+a deterministic sawtooth (independent of the physical error rate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codes.cycle_time import QLDPC_BB, SURFACE_CODE, CodeCycleModel
+from ..noise.hardware import HardwareConfig
+
+__all__ = ["qldpc_surface_slack", "slack_sawtooth"]
+
+
+def slack_sawtooth(
+    rounds: int,
+    fast_cycle_ns: float,
+    slow_cycle_ns: float,
+) -> np.ndarray:
+    """Phase slack after each of ``rounds`` rounds of two free-running clocks.
+
+    ``slack[r]`` is the idle the faster patch must absorb to re-align with
+    the slower patch after both have completed ``r`` cycles.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    if fast_cycle_ns <= 0 or slow_cycle_ns < fast_cycle_ns:
+        raise ValueError("need 0 < fast_cycle <= slow_cycle")
+    r = np.arange(rounds + 1, dtype=np.float64)
+    drift = r * (slow_cycle_ns - fast_cycle_ns)
+    return drift % fast_cycle_ns
+
+
+def qldpc_surface_slack(
+    rounds: int,
+    hw: HardwareConfig,
+    *,
+    qldpc: CodeCycleModel = QLDPC_BB,
+    surface: CodeCycleModel = SURFACE_CODE,
+) -> np.ndarray:
+    """Fig. 4b: slack between a surface patch and a qLDPC memory vs rounds."""
+    t_surface = surface.cycle_time_ns(hw)
+    t_qldpc = qldpc.cycle_time_ns(hw)
+    return slack_sawtooth(rounds, t_surface, t_qldpc)

@@ -1,0 +1,111 @@
+"""Command-line interface: regenerate any of the paper's figures/tables.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig10
+    python -m repro.cli run fig14 --shots 50000 --out results/
+    python -m repro.cli run all --shots 20000
+
+Each driver prints its rows and (with ``--out``) writes JSON next to the
+benchmark harness's output format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import sys
+from pathlib import Path
+
+from .experiments import figures
+
+#: name -> (callable, accepts_shots, accepts_rng)
+DRIVERS = {}
+for _name in figures.__all__:
+    fn = getattr(figures, _name)
+    params = inspect.signature(fn).parameters
+    key = _name.split("_")[0]  # fig10_extra_rounds_configs -> fig10
+    DRIVERS[key] = (fn, "shots" in params, "rng" in params)
+# fig1d is derived from other measurements; exclude it from direct runs
+DRIVERS.pop("fig1d", None)
+
+
+def list_drivers() -> None:
+    print("available figure/table drivers:")
+    for key in sorted(DRIVERS):
+        fn, takes_shots, _ = DRIVERS[key]
+        extra = " (accepts --shots)" if takes_shots else ""
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {key:8s} {doc}{extra}")
+
+
+def run_driver(key: str, shots: int | None, seed: int, out: Path | None) -> None:
+    fn, takes_shots, takes_rng = DRIVERS[key]
+    kwargs = {}
+    if takes_shots and shots is not None:
+        kwargs["shots"] = shots
+    if takes_rng:
+        kwargs["rng"] = seed
+    print(f"== {key}: {fn.__name__} ==")
+    data = _stringify_keys(fn(**kwargs))
+    print(json.dumps(data, indent=2, default=_jsonable))
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / f"{key}.json"
+        with open(path, "w") as f:
+            json.dump(data, f, indent=2, default=_jsonable)
+        print(f"wrote {path}")
+
+
+def _stringify_keys(obj):
+    """JSON keys must be strings; figure drivers sometimes key by tuples."""
+    if isinstance(obj, dict):
+        return {str(k): _stringify_keys(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_stringify_keys(v) for v in obj]
+    return obj
+
+
+def _jsonable(obj):
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): v for k, v in obj.items()}
+    if hasattr(obj, "__dict__"):
+        return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+    return str(obj)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available drivers")
+    runp = sub.add_parser("run", help="run one driver (or 'all')")
+    runp.add_argument("figure", help="driver key from 'list', or 'all'")
+    runp.add_argument("--shots", type=int, default=None)
+    runp.add_argument("--seed", type=int, default=2025)
+    runp.add_argument("--out", type=Path, default=None)
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        list_drivers()
+        return 0
+    if args.figure == "all":
+        for key in sorted(DRIVERS):
+            run_driver(key, args.shots, args.seed, args.out)
+        return 0
+    if args.figure not in DRIVERS:
+        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+        return 2
+    run_driver(args.figure, args.shots, args.seed, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Two-dimensional color codes (the magic-state codes of Fig. 1(a)/3(a)).
+
+Color codes support transversal Clifford gates, which is why heterogeneous
+architectures use them to prepare non-Clifford resource states before
+teleporting into the surface code.  Their syndrome circuits need more CNOT
+layers per cycle (weight-6/8 checks, both bases on the same faces), which is
+one of the paper's principal desynchronization sources (Sec. 3.2.1).
+
+Provides the triangular 6.6.6 color-code family: distance 3 is the Steane
+[[7, 1, 3]] code; larger odd distances follow the standard triangular
+hexagon patch construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .css import CssCode
+
+__all__ = ["steane_code", "triangular_color_code", "color_code_faces"]
+
+
+def steane_code() -> CssCode:
+    """The [[7, 1, 3]] Steane code (distance-3 triangular color code)."""
+    faces = [(0, 1, 2, 3), (1, 2, 4, 5), (2, 3, 5, 6)]
+    h = np.zeros((3, 7), dtype=np.uint8)
+    for r, face in enumerate(faces):
+        h[r, list(face)] = 1
+    return CssCode(name="steane-7-1-3", hx=h, hz=h.copy())
+
+
+def color_code_faces(distance: int) -> tuple[int, list[tuple[int, ...]]]:
+    """Triangular 6.6.6 patch: returns (num_qubits, faces).
+
+    Each face hosts one X and one Z stabilizer.  Only the distance-3 patch
+    (the Steane code) is tabulated; larger patches raise so callers cannot
+    silently rely on an unverified lattice.
+    """
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("triangular color codes exist for odd distance >= 3")
+    if distance == 3:
+        return 7, [(0, 1, 2, 3), (1, 2, 4, 5), (2, 3, 5, 6)]
+    raise NotImplementedError(
+        "only the distance-3 triangular patch is tabulated; cycle-time studies "
+        "of larger color codes use repro.codes.cycle_time.COLOR_CODE"
+    )
+
+
+def triangular_color_code(distance: int) -> CssCode:
+    """Triangular 6.6.6 color code of the given (odd) distance."""
+    n, faces = color_code_faces(distance)
+    h = np.zeros((len(faces), n), dtype=np.uint8)
+    for r, face in enumerate(faces):
+        h[r, list(face)] = 1
+    return CssCode(name=f"color-6.6.6-d{distance}", hx=h, hz=h.copy())

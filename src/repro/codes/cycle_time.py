@@ -1,0 +1,83 @@
+"""Syndrome-generation cycle-time models for different QEC codes (Fig. 3a).
+
+Different codes run different numbers of CNOT layers per syndrome cycle:
+
+* rotated surface code — 4 CNOT layers,
+* color code (hexagonal, flag-based extraction) — typically 6-8 CNOT layers
+  plus flag measurements,
+* bivariate-bicycle qLDPC codes — 7 CNOT layers (Bravyi et al. 2024, as
+  cited by the paper in Sec. 3.4.2).
+
+These models produce the logical-clock periods that create the slack studied
+in the case studies (Fig. 4) and the ``T_P'`` values of the Hybrid-policy
+sweeps (1 to 3 extra CNOT layers -> +50/ +100/ +150 ns on IBM-like gates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noise.hardware import HardwareConfig
+
+__all__ = ["CodeCycleModel", "SURFACE_CODE", "COLOR_CODE", "QLDPC_BB", "cycle_time_ns"]
+
+
+@dataclass(frozen=True)
+class CodeCycleModel:
+    """Structure of one code's syndrome-generation cycle."""
+
+    name: str
+    cnot_layers: int
+    hadamard_layers: int = 2
+    #: measurement passes per cycle (flag-based schemes measure flags too)
+    measurement_passes: int = 1
+
+    def cycle_time_ns(self, hw: HardwareConfig) -> float:
+        """Syndrome cycle duration (ns) on hardware ``hw``."""
+        return (
+            self.hadamard_layers * hw.time_1q_ns
+            + self.cnot_layers * hw.time_2q_ns
+            + self.measurement_passes * (hw.time_readout_ns + hw.time_reset_ns)
+        )
+
+
+SURFACE_CODE = CodeCycleModel(name="surface", cnot_layers=4)
+COLOR_CODE = CodeCycleModel(name="color", cnot_layers=8)
+QLDPC_BB = CodeCycleModel(name="qldpc_bb", cnot_layers=7)
+
+#: twist-based lattice surgery (Sec. 3.2.3): patches hosting twist defects
+#: need additional CNOTs in the syndrome circuit to measure the 5-body
+#: stabilizers around the twist, desynchronizing them from regular patches.
+TWIST_SURFACE = CodeCycleModel(name="surface-twist", cnot_layers=5)
+
+
+def cycle_time_ns(model: CodeCycleModel, hw: HardwareConfig) -> float:
+    """Convenience wrapper: syndrome cycle duration of ``model`` on ``hw``."""
+    return model.cycle_time_ns(hw)
+
+
+def modular_cycle_time_ns(
+    hw: HardwareConfig,
+    *,
+    boundary_cnot_layers: int = 1,
+    coupler_slowdown: float = 3.0,
+) -> float:
+    """Cycle time of a patch straddling a chiplet boundary (Sec. 3.2.4).
+
+    Chip-to-chip couplers run slower two-qubit gates; a patch whose stabilizer
+    circuit crosses the boundary spends ``boundary_cnot_layers`` of its four
+    CNOT layers on the slow couplers, stretching its logical clock relative to
+    monolithic patches.
+    """
+    if boundary_cnot_layers < 0 or boundary_cnot_layers > 4:
+        raise ValueError("a surface-code cycle has four CNOT layers")
+    if coupler_slowdown < 1.0:
+        raise ValueError("chip-to-chip couplers are not faster than on-chip gates")
+    fast_layers = 4 - boundary_cnot_layers
+    return (
+        2 * hw.time_1q_ns
+        + fast_layers * hw.time_2q_ns
+        + boundary_cnot_layers * hw.time_2q_ns * coupler_slowdown
+        + hw.time_readout_ns
+        + hw.time_reset_ns
+    )

@@ -1,0 +1,148 @@
+"""Fabrication dropouts and their cycle-time cost (Sec. 3.2.2, Fig. 3b).
+
+Defective qubits or couplers force a patch to measure the affected
+stabilizers by time-multiplexing neighbouring ancillas (the LUCI /
+Surf-Deformer family of constructions the paper cites).  The repaired
+schedule appends extra CNOT layers after the nominal four, so the patch's
+syndrome-generation cycle becomes *longer than — but not a multiple of — *
+the pristine cycle, desynchronizing it from the rest of the system.
+
+The model here is deliberately structural: it reports which plaquettes are
+affected, how many extra CNOT layers the repair needs, and the resulting
+cycle time — the quantities the synchronization layer consumes as ``T_P'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import resolve_rng
+from ..noise.hardware import HardwareConfig
+from .layout import PatchLayout
+
+__all__ = ["DefectMap", "DefectiveSchedule", "repair_schedule", "sample_defect_map"]
+
+Coord = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DefectMap:
+    """Broken components of one patch's physical lattice."""
+
+    broken_data: frozenset = frozenset()
+    broken_ancilla: frozenset = frozenset()
+    #: couplers as (plaquette position, data coordinate) pairs
+    broken_couplers: frozenset = frozenset()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.broken_data or self.broken_ancilla or self.broken_couplers)
+
+
+@dataclass
+class DefectiveSchedule:
+    """Repaired syndrome schedule of a patch with dropouts."""
+
+    layout: PatchLayout
+    defects: DefectMap
+    #: plaquettes whose measurement had to be rescheduled
+    affected_plaquettes: list = field(default_factory=list)
+    #: CNOT layers appended after the nominal four
+    extra_cnot_layers: int = 0
+    #: number of disjoint defect clusters (each repaired independently)
+    num_clusters: int = 0
+
+    def cycle_time_ns(self, hw: HardwareConfig) -> float:
+        """Cycle duration of the repaired schedule on hardware ``hw``."""
+        return hw.cycle_time_ns + self.extra_cnot_layers * hw.time_2q_ns
+
+    def cycle_extension_ns(self, hw: HardwareConfig) -> float:
+        """Extra cycle duration caused by the repair (ns)."""
+        return self.extra_cnot_layers * hw.time_2q_ns
+
+
+def repair_schedule(layout: PatchLayout, defects: DefectMap) -> DefectiveSchedule:
+    """Compute the time-multiplexed repair of ``layout`` under ``defects``.
+
+    Rules (one repair pass per defect cluster):
+
+    * a broken *ancilla* makes its plaquette borrow a neighbouring ancilla
+      after the main schedule: +2 CNOT layers for its cluster;
+    * a broken *data* qubit turns the adjacent plaquettes into a
+      super-stabilizer measured with one extra interleaved layer: +1;
+    * a broken *coupler* re-routes one CNOT through a neighbour: +1.
+
+    Clusters of adjacent affected plaquettes are repaired concurrently, so
+    each cluster contributes the maximum of its members' costs; disjoint
+    clusters multiplex sequentially and their costs add.
+    """
+    costs: dict[tuple[int, int], int] = {}
+
+    def bump(pos, cost):
+        costs[pos] = max(costs.get(pos, 0), cost)
+
+    by_pos = {p.pos: p for p in layout.plaquettes}
+    for pos in defects.broken_ancilla:
+        if pos in by_pos:
+            bump(pos, 2)
+    for coord in defects.broken_data:
+        for p in layout.plaquettes:
+            if coord in p.data:
+                bump(p.pos, 1)
+    for pos, coord in defects.broken_couplers:
+        p = by_pos.get(pos)
+        if p is not None and coord in p.data:
+            bump(pos, 1)
+
+    affected = sorted(costs)
+    clusters = _cluster(affected)
+    extra = sum(max(costs[pos] for pos in cluster) for cluster in clusters)
+    return DefectiveSchedule(
+        layout=layout,
+        defects=defects,
+        affected_plaquettes=affected,
+        extra_cnot_layers=extra,
+        num_clusters=len(clusters),
+    )
+
+
+def _cluster(positions: list[tuple[int, int]]) -> list[list[tuple[int, int]]]:
+    """Group plaquette positions into 8-neighbourhood-adjacent clusters."""
+    remaining = set(positions)
+    clusters = []
+    while remaining:
+        seed = remaining.pop()
+        cluster = [seed]
+        frontier = [seed]
+        while frontier:
+            a, b = frontier.pop()
+            neighbours = [
+                (a + da, b + db) for da in (-1, 0, 1) for db in (-1, 0, 1) if (da, db) != (0, 0)
+            ]
+            for n in neighbours:
+                if n in remaining:
+                    remaining.remove(n)
+                    cluster.append(n)
+                    frontier.append(n)
+        clusters.append(sorted(cluster))
+    return clusters
+
+
+def sample_defect_map(
+    layout: PatchLayout,
+    dropout_probability: float,
+    rng: np.random.Generator | int | None = None,
+) -> DefectMap:
+    """Sample fabrication dropouts: each qubit fails independently."""
+    if not 0 <= dropout_probability <= 1:
+        raise ValueError("dropout probability must lie in [0, 1]")
+    rng = resolve_rng(rng)
+    broken_data = frozenset(
+        c for c in layout.data_coords() if rng.random() < dropout_probability
+    )
+    broken_anc = frozenset(
+        p.pos for p in layout.plaquettes if rng.random() < dropout_probability
+    )
+    return DefectMap(broken_data=broken_data, broken_ancilla=broken_anc)

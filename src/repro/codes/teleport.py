@@ -1,0 +1,204 @@
+"""Logical teleportation between patches via lattice surgery (Fig. 3a).
+
+Heterogeneous systems move logical qubits between codes by teleportation:
+a joint logical measurement between the source and a target patch, followed
+by measuring the source out and applying a Pauli correction conditioned on
+the two outcomes.  Every such teleport is a synchronized lattice-surgery
+operation — this is the workload the paper's qLDPC/cultivation case studies
+count.
+
+Here both endpoints are surface-code patches (the paper's own evaluations
+also stay within the surface code, Sec. 6); the slower codes enter through
+the lagging patch's cycle-time extension, exactly as in
+:mod:`repro.codes.surgery`.
+
+Protocol (X-basis variant, teleporting the Z-basis logical state):
+
+1. source ``P`` holds the state; target ``P'`` is prepared in ``|+>_L``;
+2. merge measures ``Z_P Z_P'`` (outcome ``m_zz``);
+3. split, then measure ``P`` transversally in X (outcome ``m_x``);
+4. the state lives in ``P'`` up to ``X^{m_zz} Z^{m_x}`` — with Pauli-frame
+   corrections folded into the observable definition, ``Z_{P'} . Z_P(0) =
+   m_zz``-corrected parity is deterministic.
+
+The generated experiment prepares ``P`` in ``|0>_L``, teleports, and checks
+the teleported ``Z`` logical: the observable combines the target's final
+transversal readout with the joint-measurement record (the seam product) so
+that it is noiseless-deterministic — verified by the tableau oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..noise.models import NoiseModel
+from ..stab.circuit import Circuit
+from ..timing.schedule import PatchTimeline, RoundIdle
+from .layout import PatchLayout, QubitRegistry, other_basis
+from .rounds import StabilizerRoundEmitter
+
+__all__ = ["TeleportSpec", "TeleportArtifacts", "teleport_experiment"]
+
+#: the teleported logical (target patch, correction-folded)
+OBS_TELEPORTED = 0
+
+
+@dataclass(frozen=True)
+class TeleportSpec:
+    """Configuration of one logical-teleportation experiment."""
+
+    distance: int
+    noise: NoiseModel
+    #: pre-merge rounds for each patch (defaults to d+1)
+    rounds_pre: int | None = None
+    rounds_merged: int | None = None
+    #: post-split rounds on the target before its readout (defaults to d+1)
+    rounds_post: int | None = None
+    timeline_p: PatchTimeline | None = None
+    timeline_pp: PatchTimeline | None = None
+
+
+@dataclass
+class TeleportArtifacts:
+    circuit: Circuit
+    spec: TeleportSpec
+    layout_src: PatchLayout
+    layout_dst: PatchLayout
+    registry: QubitRegistry
+    detector_basis: str
+
+
+def teleport_experiment(spec: TeleportSpec) -> TeleportArtifacts:
+    """Teleport a ``|0>_L`` from the left patch to the right patch.
+
+    The decoded basis is Z throughout: detectors ride on Z-plaquettes, the
+    merge measures ``Z_P Z_P'`` through an X-basis buffer (rough merge), and
+    the observable is the teleported Z logical.
+    """
+    d = spec.distance
+    if d < 2:
+        raise ValueError("distance must be at least 2")
+    base = d + 1
+    rounds_pre = spec.rounds_pre if spec.rounds_pre is not None else base
+    rounds_merged = spec.rounds_merged if spec.rounds_merged is not None else base
+    rounds_post = spec.rounds_post if spec.rounds_post is not None else base
+
+    basis = "Z"
+    buffer_basis = other_basis(basis)  # |+> buffer keeps extended X-checks quiet
+    layout_src = PatchLayout(0, d - 1, d, vertical_basis=basis)
+    layout_dst = PatchLayout(d + 1, 2 * d, d, vertical_basis=basis)
+    layout_merged = PatchLayout(0, 2 * d, d, vertical_basis=basis)
+    buffer_coords = [(d, j) for j in range(d)]
+
+    timeline_p = spec.timeline_p or PatchTimeline.uniform(rounds_pre)
+    timeline_pp = spec.timeline_pp or PatchTimeline.uniform(rounds_pre)
+
+    registry = QubitRegistry()
+    circuit = Circuit()
+    emitter = StabilizerRoundEmitter(circuit, registry, spec.noise)
+
+    src_qubits = _patch_qubits(layout_src, registry)
+    dst_qubits = _patch_qubits(layout_dst, registry)
+
+    # -- init: source holds |0>_L; target prepared in |+>_L ------------------
+    emitter.emit_data_init(layout_src.data_coords(), "Z")
+    emitter.emit_data_init(layout_dst.data_coords(), "X")
+    emitter.emit_ancilla_init(layout_src.plaquettes)
+    emitter.emit_ancilla_init(layout_dst.plaquettes)
+
+    prev: dict[tuple[int, int], int] = {}
+    for r in range(max(timeline_p.num_rounds, timeline_pp.num_rounds)):
+        for layout, timeline, qubits, deterministic_first in (
+            (layout_src, timeline_p, src_qubits, True),
+            (layout_dst, timeline_pp, dst_qubits, False),
+        ):
+            if r >= timeline.num_rounds:
+                continue
+            recs = emitter.emit_round(layout.plaquettes, qubits, timeline.rounds[r])
+            for p in layout.plaquettes:
+                if p.basis != basis:
+                    continue
+                cur = recs[p.pos]
+                if r == 0:
+                    # target is |+>-prepared: its Z-checks start random
+                    if deterministic_first:
+                        circuit.detector([cur], coords=(*p.pos, 0), basis=basis)
+                else:
+                    circuit.detector([prev[p.pos], cur], coords=(*p.pos, r), basis=basis)
+            prev.update(recs)
+    if timeline_p.final_idle_ns > 0:
+        spec.noise.emit_idle(circuit, src_qubits, timeline_p.final_idle_ns)
+
+    # -- merge: rough merge measuring Z_P Z_P' --------------------------------
+    existing = {p.pos for p in layout_src.plaquettes} | {p.pos for p in layout_dst.plaquettes}
+    new_plaquettes = [p for p in layout_merged.plaquettes if p.pos not in existing]
+    emitter.emit_data_init(buffer_coords, buffer_basis)
+    emitter.emit_ancilla_init(new_plaquettes)
+    merged_qubits = sorted(
+        {registry.data(c) for c in layout_merged.data_coords()}
+        | {registry.ancilla(p.pos) for p in layout_merged.plaquettes}
+    )
+    new_basis_positions = {p.pos for p in new_plaquettes if p.basis == basis}
+    joint_record: list[int] = []
+    label = max(timeline_p.num_rounds, timeline_pp.num_rounds)
+    for m in range(rounds_merged):
+        recs = emitter.emit_round(layout_merged.plaquettes, merged_qubits, RoundIdle())
+        for p in layout_merged.plaquettes:
+            if p.basis != basis:
+                continue
+            cur = recs[p.pos]
+            if m == 0 and p.pos in new_basis_positions:
+                joint_record.append(cur)  # first outcomes define m_zz
+                continue
+            circuit.detector([prev[p.pos], cur], coords=(*p.pos, label + m), basis=basis)
+        prev.update(recs)
+
+    # -- split: measure source + buffer out in X; target keeps running --------
+    out_coords = layout_src.data_coords() + buffer_coords
+    x_finals = emitter.emit_data_measurement(out_coords, "X")
+    # X-basis readout of the source reconstructs its X-checks; those are not
+    # in the decoded basis, so no detectors are added here.  The destination's
+    # boundary checks shrink back; their next measurement compares against the
+    # merged-round value corrected by the measured-out buffer qubits.
+    # every Z-check of the destination keeps its support across merge and
+    # split (the seam checks that appeared and disappeared belonged to the
+    # merged patch, not to the destination layout), so detectors chain on
+    for r in range(rounds_post):
+        recs = emitter.emit_round(layout_dst.plaquettes, dst_qubits, RoundIdle())
+        for p in layout_dst.plaquettes:
+            if p.basis != basis:
+                continue
+            cur = recs[p.pos]
+            circuit.detector(
+                [prev[p.pos], cur], coords=(*p.pos, label + rounds_merged + r), basis=basis
+            )
+            prev[p.pos] = cur
+
+    finals = emitter.emit_data_measurement(layout_dst.data_coords(), basis)
+    for p in layout_dst.plaquettes:
+        if p.basis != basis:
+            continue
+        rec = [prev[p.pos]] + [finals[c] for c in p.data]
+        circuit.detector(
+            rec, coords=(*p.pos, label + rounds_merged + rounds_post), basis=basis
+        )
+
+    # teleported Z logical: destination column, corrected by m_zz (the joint
+    # measurement outcome, i.e. the seam product of first merged-round checks)
+    obs_rec = [finals[c] for c in layout_dst.vertical_logical()] + joint_record
+    circuit.observable_include(OBS_TELEPORTED, obs_rec)
+    return TeleportArtifacts(
+        circuit=circuit,
+        spec=spec,
+        layout_src=layout_src,
+        layout_dst=layout_dst,
+        registry=registry,
+        detector_basis=basis,
+    )
+
+
+def _patch_qubits(layout: PatchLayout, registry: QubitRegistry) -> list[int]:
+    return sorted(
+        {registry.data(c) for c in layout.data_coords()}
+        | {registry.ancilla(p.pos) for p in layout.plaquettes}
+    )

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: synchronization policies and runtime.
+
+* :mod:`repro.core.slack` — slack arithmetic, Eq. (1) and Eq. (2) solvers.
+* :mod:`repro.core.policies` — Passive/Active/Active-intra/Extra-Rounds/
+  Hybrid policies producing per-round idle timelines.
+* :mod:`repro.core.tables` / :mod:`repro.core.engine` /
+  :mod:`repro.core.controller` — the synchronization microarchitecture
+  (Fig. 12): patch counter and metadata tables, phase/slack calculators,
+  runtime policy selection, and the controller that executes synchronized
+  schedules.
+* :mod:`repro.core.planner` — k-patch pairwise-parallel planning (Sec. 4.3).
+"""
+
+from .controller import MergeRecord, PatchProcess, QECController
+from .engine import SyncDecision, SyncDirective, SynchronizationEngine
+from .planner import KSyncPlan, PairDirective, PatchState, plan_k_patch_sync
+from .policies import (
+    POLICIES,
+    ActiveIntraPolicy,
+    ActivePolicy,
+    ExtraRoundsPolicy,
+    HybridPolicy,
+    IdealPolicy,
+    PassivePolicy,
+    PolicyNotApplicableError,
+    SyncPlan,
+    SyncScenario,
+    make_policy,
+)
+from .slack import (
+    ExtraRoundsSolution,
+    HybridSolution,
+    extra_rounds_solution,
+    hybrid_solution,
+    normalize_slack,
+)
+from .tables import PatchCounterTable, PatchMetadata, PatchMetadataTable
+
+__all__ = [
+    "MergeRecord",
+    "PatchProcess",
+    "QECController",
+    "SyncDecision",
+    "SyncDirective",
+    "SynchronizationEngine",
+    "KSyncPlan",
+    "PairDirective",
+    "PatchState",
+    "plan_k_patch_sync",
+    "POLICIES",
+    "ActiveIntraPolicy",
+    "ActivePolicy",
+    "ExtraRoundsPolicy",
+    "HybridPolicy",
+    "IdealPolicy",
+    "PassivePolicy",
+    "PolicyNotApplicableError",
+    "SyncPlan",
+    "SyncScenario",
+    "make_policy",
+    "ExtraRoundsSolution",
+    "HybridSolution",
+    "extra_rounds_solution",
+    "hybrid_solution",
+    "normalize_slack",
+    "PatchCounterTable",
+    "PatchMetadata",
+    "PatchMetadataTable",
+]

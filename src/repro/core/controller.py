@@ -1,0 +1,121 @@
+"""QEC controller: executes synchronized schedules (Fig. 12, right side).
+
+A deliberately small discrete-event model of the control processor: patches
+run free syndrome cycles; when a lattice-surgery operation arrives, the
+synchronization engine's directives are applied as *barriers* in each
+participating patch's schedule (idles spread across rounds and/or extra
+rounds), after which the merge executes with all cycle boundaries aligned.
+
+Tests assert the invariant the whole paper rests on: after applying the
+directives, every participating patch starts its next syndrome cycle at the
+same global time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import SyncDecision, SynchronizationEngine
+from .tables import PatchCounterTable, PatchMetadataTable
+
+__all__ = ["PatchProcess", "QECController", "MergeRecord"]
+
+
+@dataclass
+class PatchProcess:
+    """Runtime state of one logical patch on the controller."""
+
+    patch_id: int
+    cycle_ns: int
+    #: global time at which the current cycle started
+    cycle_start_ns: int = 0
+    rounds_completed: int = 0
+
+
+@dataclass
+class MergeRecord:
+    """Log entry for one synchronized lattice-surgery operation."""
+
+    time_ns: int
+    patch_ids: tuple[int, ...]
+    decision: SyncDecision
+    aligned_start_ns: int
+
+
+class QECController:
+    """Owns the tables, the engine, and the per-patch schedules."""
+
+    def __init__(self, *, policy: str = "auto", spread_rounds: int = 4):
+        self.metadata = PatchMetadataTable()
+        self.counters = PatchCounterTable(self.metadata)
+        self.engine = SynchronizationEngine(
+            self.metadata, self.counters, policy=policy, spread_rounds=spread_rounds
+        )
+        self.processes: dict[int, PatchProcess] = {}
+        self.now_ns = 0
+        self.merge_log: list[MergeRecord] = []
+
+    # -- patch lifecycle -------------------------------------------------------
+
+    def add_patch(self, patch_id: int, cycle_ns: int, phase_ns: int = 0) -> PatchProcess:
+        """Register a patch and start its counter and schedule."""
+        self.metadata.add(patch_id, cycle_ns)
+        self.counters.activate(patch_id, phase_ns)
+        proc = PatchProcess(
+            patch_id=patch_id, cycle_ns=cycle_ns, cycle_start_ns=self.now_ns - phase_ns
+        )
+        self.processes[patch_id] = proc
+        return proc
+
+    def retire_patch(self, patch_id: int) -> None:
+        """Stop tracking a patch (merged or measured out)."""
+        self.counters.deactivate(patch_id)
+        del self.processes[patch_id]
+
+    # -- time -------------------------------------------------------------------
+
+    def advance(self, dt_ns: int) -> None:
+        """Advance global time; counters and round counts track along."""
+        self.counters.tick(dt_ns)
+        self.now_ns += dt_ns
+        for proc in self.processes.values():
+            elapsed = self.now_ns - proc.cycle_start_ns
+            if elapsed >= proc.cycle_ns:
+                completed = elapsed // proc.cycle_ns
+                proc.rounds_completed += completed
+                proc.cycle_start_ns += completed * proc.cycle_ns
+
+    # -- synchronized merges -------------------------------------------------------
+
+    def merge(self, patch_ids) -> MergeRecord:
+        """Synchronize ``patch_ids`` and execute the merge at alignment.
+
+        Enforces the core invariant: after applying the engine's directives,
+        the merge time is a syndrome-cycle boundary of *every* participating
+        patch (patches not explicitly idled simply keep cycling until then).
+        """
+        decision = self.engine.synchronize(patch_ids)
+        finish_times = {}
+        for pid, directive in decision.directives.items():
+            proc = self.processes[pid]
+            remaining = self.engine.time_to_cycle_end(pid)
+            extra = directive.extra_rounds * proc.cycle_ns
+            finish_times[pid] = round(
+                self.now_ns + remaining + extra + directive.total_idle_ns
+            )
+        aligned = max(finish_times.values())
+        for pid, finish in finish_times.items():
+            gap = aligned - finish
+            if gap % self.processes[pid].cycle_ns != 0:
+                raise AssertionError(
+                    f"patch {pid} misaligned by {gap % self.processes[pid].cycle_ns} ns "
+                    "after synchronization directives"
+                )
+        record = MergeRecord(
+            time_ns=self.now_ns,
+            patch_ids=tuple(patch_ids),
+            decision=decision,
+            aligned_start_ns=int(aligned),
+        )
+        self.merge_log.append(record)
+        return record

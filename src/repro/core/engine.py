@@ -1,0 +1,136 @@
+"""The synchronization engine (Fig. 12).
+
+Combines the phase calculator, the slack calculator, and runtime policy
+selection: given the patch counter/metadata tables and the set of patches a
+lattice-surgery operation touches, the engine computes each patch's remaining
+time in its current cycle, identifies the slowest (most lagging) patch, and
+produces per-patch :class:`SyncDirective` schedules (barriers) according to
+the selected policy.  ``policy="auto"`` performs the runtime selection the
+paper describes: use Hybrid when Eq. (2) admits a small solution, otherwise
+fall back to Active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tables import PatchCounterTable, PatchMetadataTable
+
+__all__ = ["SyncDirective", "SyncDecision", "SynchronizationEngine"]
+
+
+@dataclass(frozen=True)
+class SyncDirective:
+    """Barrier schedule for one patch participating in a synchronization."""
+
+    patch_id: int
+    policy: str
+    #: idle to insert before each of the next ``spread_rounds`` rounds
+    idle_per_round_ns: float = 0.0
+    #: number of rounds the idle is spread across
+    spread_rounds: int = 0
+    #: extra full rounds to run before the lattice-surgery operation
+    extra_rounds: int = 0
+
+    @property
+    def total_idle_ns(self) -> float:
+        return self.idle_per_round_ns * self.spread_rounds
+
+
+@dataclass
+class SyncDecision:
+    """Engine output for one multi-patch synchronization request."""
+
+    slowest_patch: int
+    #: worst-case slack across the patch set (ns)
+    max_slack_ns: int
+    directives: dict[int, SyncDirective] = field(default_factory=dict)
+
+
+class SynchronizationEngine:
+    """Phase + slack calculation and policy selection for k patches."""
+
+    def __init__(
+        self,
+        metadata: PatchMetadataTable,
+        counters: PatchCounterTable,
+        *,
+        policy: str = "auto",
+        spread_rounds: int = 4,
+        hybrid_eps_ns: float = 400.0,
+        hybrid_max_rounds: int = 5,
+    ):
+        if policy not in ("auto", "passive", "active", "hybrid"):
+            raise ValueError(f"unsupported engine policy {policy!r}")
+        self.metadata = metadata
+        self.counters = counters
+        self.policy = policy
+        self.spread_rounds = spread_rounds
+        self.hybrid_eps_ns = hybrid_eps_ns
+        self.hybrid_max_rounds = hybrid_max_rounds
+
+    # -- phase calculator ------------------------------------------------------
+
+    def time_to_cycle_end(self, patch_id: int) -> int:
+        """Remaining ns until the patch completes its current cycle."""
+        duration = self.metadata.cycle_duration(patch_id)
+        elapsed = self.counters.elapsed_in_cycle(patch_id)
+        return 0 if elapsed == 0 else duration - elapsed
+
+    # -- slack calculator ---------------------------------------------------------
+
+    def synchronize(self, patch_ids) -> SyncDecision:
+        """Compute directives aligning all patches on a common cycle start."""
+        patch_ids = list(patch_ids)
+        if len(patch_ids) < 2:
+            raise ValueError("synchronization needs at least two patches")
+        for pid in patch_ids:
+            if not self.counters.is_valid(pid):
+                raise ValueError(f"patch {pid} has no valid counter")
+        remaining = {pid: self.time_to_cycle_end(pid) for pid in patch_ids}
+        # the slowest patch is the one needing the most time to finish its cycle
+        slowest = max(patch_ids, key=lambda pid: remaining[pid])
+        decision = SyncDecision(
+            slowest_patch=slowest,
+            max_slack_ns=max(remaining[slowest] - remaining[pid] for pid in patch_ids),
+        )
+        for pid in patch_ids:
+            slack = remaining[slowest] - remaining[pid]
+            decision.directives[pid] = self._directive_for(pid, slowest, slack)
+        return decision
+
+    def _directive_for(self, patch_id: int, slowest: int, slack_ns: int) -> SyncDirective:
+        if slack_ns == 0:
+            return SyncDirective(patch_id=patch_id, policy="none")
+        policy = self.policy
+        t_p = self.metadata.cycle_duration(patch_id)
+        t_pp = self.metadata.cycle_duration(slowest)
+        if policy == "auto":
+            policy = "hybrid" if t_p != t_pp else "active"
+        if policy == "hybrid" and t_p != t_pp:
+            # Direct form of Eq. (2) in controller coordinates: after z extra
+            # rounds of this patch, the idle still needed to land exactly on a
+            # cycle boundary of the slowest patch is (slack - z*T_P) mod T_P'.
+            for z in range(1, self.hybrid_max_rounds + 1):
+                residual = (slack_ns - z * t_p) % t_pp
+                if residual < self.hybrid_eps_ns:
+                    return SyncDirective(
+                        patch_id=patch_id,
+                        policy="hybrid",
+                        idle_per_round_ns=residual / self.spread_rounds,
+                        spread_rounds=self.spread_rounds,
+                        extra_rounds=z,
+                    )
+            policy = "active"  # runtime fallback, as in Sec. 5
+        if policy == "hybrid":
+            policy = "active"  # equal cycle times: extra rounds cannot help
+        if policy == "active":
+            return SyncDirective(
+                patch_id=patch_id,
+                policy="active",
+                idle_per_round_ns=slack_ns / self.spread_rounds,
+                spread_rounds=self.spread_rounds,
+            )
+        return SyncDirective(
+            patch_id=patch_id, policy="passive", idle_per_round_ns=slack_ns, spread_rounds=1
+        )

@@ -1,0 +1,114 @@
+"""Slack arithmetic: Eq. (1) and Eq. (2) of the paper.
+
+All solvers work on integer nanoseconds (cycle times and slacks in the paper
+are ns-resolution), which keeps the Diophantine conditions exact.
+
+* :func:`extra_rounds_solution` — Eq. (1): the smallest ``m`` such that
+  running the leading patch ``P`` for ``m`` extra rounds meets a cycle
+  boundary of the lagging patch ``P'``:  ``n * T_P' = m * T_P + tau``.
+* :func:`hybrid_solution` — Eq. (2): the smallest ``z`` whose residual slack
+  ``ceil((z T_P + tau)/T_P') * T_P' - (z T_P + tau)`` is below the tolerance
+  ``eps``; the residual is absorbed Active-style.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "ExtraRoundsSolution",
+    "HybridSolution",
+    "extra_rounds_solution",
+    "hybrid_solution",
+    "normalize_slack",
+]
+
+
+def normalize_slack(tau_ns: float, cycle_ns: float) -> float:
+    """Slack is a phase difference, so it is bounded by the cycle time."""
+    if cycle_ns <= 0:
+        raise ValueError("cycle time must be positive")
+    return tau_ns % cycle_ns
+
+
+@dataclass(frozen=True)
+class ExtraRoundsSolution:
+    """Solution of Eq. (1): ``n * T_P' == m * T_P + tau``."""
+
+    extra_rounds_p: int  # m: extra rounds run by the leading patch P
+    extra_rounds_pp: int  # n: rounds run by the lagging patch P' meanwhile
+
+    def verify(self, t_p_ns: int, t_pp_ns: int, tau_ns: int) -> bool:
+        """Check the solution satisfies its defining equation exactly."""
+        return self.extra_rounds_pp * t_pp_ns == self.extra_rounds_p * t_p_ns + tau_ns
+
+
+def extra_rounds_solution(
+    t_p_ns: float,
+    t_pp_ns: float,
+    tau_ns: float,
+    *,
+    max_rounds: int = 10_000,
+) -> ExtraRoundsSolution | None:
+    """Solve Eq. (1); returns None when no solution exists within the bound.
+
+    ``t_p_ns`` is the leading patch's cycle, ``t_pp_ns`` the lagging patch's.
+    Equal cycle times admit no extra-rounds synchronization (Sec. 4.1.4).
+    """
+    tp, tpp, tau = int(round(t_p_ns)), int(round(t_pp_ns)), int(round(tau_ns))
+    if tp <= 0 or tpp <= 0 or tau < 0:
+        raise ValueError("cycle times must be positive and slack non-negative")
+    if tp == tpp:
+        return None
+    # solvability: tp*m ≡ -tau (mod tpp) has a solution iff gcd(tp,tpp) | tau
+    if tau % math.gcd(tp, tpp) != 0:
+        return None
+    for m in range(1, max_rounds + 1):
+        total = m * tp + tau
+        if total % tpp == 0:
+            return ExtraRoundsSolution(extra_rounds_p=m, extra_rounds_pp=total // tpp)
+    return None
+
+
+@dataclass(frozen=True)
+class HybridSolution:
+    """Solution of Eq. (2): extra rounds plus a tolerable residual slack."""
+
+    extra_rounds_p: int  # z
+    extra_rounds_pp: int  # ceil((z T_P + tau) / T_P')
+    residual_slack_ns: int  # the idle still to absorb (< eps)
+
+    def verify(self, t_p_ns: int, t_pp_ns: int, tau_ns: int, eps_ns: int) -> bool:
+        """Check the solution satisfies its defining equation exactly."""
+        lhs = self.extra_rounds_pp * t_pp_ns
+        rhs = self.extra_rounds_p * t_p_ns + tau_ns + self.residual_slack_ns
+        return lhs == rhs and 0 <= self.residual_slack_ns < eps_ns
+
+
+def hybrid_solution(
+    t_p_ns: float,
+    t_pp_ns: float,
+    tau_ns: float,
+    eps_ns: float,
+    *,
+    max_rounds: int = 10_000,
+) -> HybridSolution | None:
+    """Solve Eq. (2); returns None when no ``z <= max_rounds`` works."""
+    tp, tpp = int(round(t_p_ns)), int(round(t_pp_ns))
+    tau, eps = int(round(tau_ns)), int(round(eps_ns))
+    if tp <= 0 or tpp <= 0 or tau < 0:
+        raise ValueError("cycle times must be positive and slack non-negative")
+    if eps <= 0:
+        raise ValueError("slack tolerance must be positive")
+    if tp == tpp:
+        return None
+    for z in range(1, max_rounds + 1):
+        total = z * tp + tau
+        n = -(-total // tpp)  # ceil division
+        residual = n * tpp - total
+        if residual < eps:
+            return HybridSolution(
+                extra_rounds_p=z, extra_rounds_pp=n, residual_slack_ns=residual
+            )
+    return None

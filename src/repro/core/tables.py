@@ -1,0 +1,126 @@
+"""Patch bookkeeping tables of the synchronization microarchitecture (Fig. 12).
+
+The control hardware keeps, per logical patch:
+
+* a **metadata table** with the (compile-time) cycle duration of each patch,
+* a **counter table** with a free-running counter per patch, incremented at
+  every global clock tick, that wraps at the patch's cycle boundary — the
+  counter value *is* the time elapsed in the current syndrome cycle.
+
+Counters are sized 10-12 bits for ns-resolution cycles of 1000-2000 ns at a
+1 GHz global clock (Sec. 5); :meth:`PatchCounterTable.counter_bits` exposes
+the sizing rule so tests can check it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["PatchMetadata", "PatchMetadataTable", "PatchCounterTable"]
+
+
+@dataclass(frozen=True)
+class PatchMetadata:
+    """Compile-time information about one logical patch."""
+
+    patch_id: int
+    cycle_duration_ns: int
+
+    def __post_init__(self) -> None:
+        if self.cycle_duration_ns <= 0:
+            raise ValueError("cycle duration must be positive")
+
+
+class PatchMetadataTable:
+    """Cycle durations of every live patch, filled at compile time."""
+
+    def __init__(self) -> None:
+        self._rows: dict[int, PatchMetadata] = {}
+
+    def add(self, patch_id: int, cycle_duration_ns: int) -> PatchMetadata:
+        """Register a patch's cycle duration; one row per patch."""
+        if patch_id in self._rows:
+            raise KeyError(f"patch {patch_id} already registered")
+        row = PatchMetadata(patch_id, int(cycle_duration_ns))
+        self._rows[patch_id] = row
+        return row
+
+    def remove(self, patch_id: int) -> None:
+        """Drop a patch's metadata row."""
+        del self._rows[patch_id]
+
+    def cycle_duration(self, patch_id: int) -> int:
+        """Cycle duration (ns) of the given patch."""
+        return self._rows[patch_id].cycle_duration_ns
+
+    def __contains__(self, patch_id: int) -> bool:
+        return patch_id in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+@dataclass
+class _CounterRow:
+    valid: bool = True
+    counter: int = 0
+    completed_cycles: int = 0
+
+
+class PatchCounterTable:
+    """Per-patch phase counters driven by the global clock.
+
+    ``tick(n)`` advances the global clock by ``n`` ticks (1 tick = 1 ns at
+    the paper's 1 GHz reference).  Each valid patch's counter wraps at its
+    cycle duration, counting completed syndrome cycles.
+    """
+
+    def __init__(self, metadata: PatchMetadataTable):
+        self.metadata = metadata
+        self._rows: dict[int, _CounterRow] = {}
+
+    def activate(self, patch_id: int, phase_ns: int = 0) -> None:
+        """Start tracking a patch, optionally mid-cycle at ``phase_ns``."""
+        duration = self.metadata.cycle_duration(patch_id)
+        if not 0 <= phase_ns < duration:
+            raise ValueError("initial phase must lie inside one cycle")
+        self._rows[patch_id] = _CounterRow(valid=True, counter=int(phase_ns))
+
+    def deactivate(self, patch_id: int) -> None:
+        """Clear the valid bit (patch merged/split away, Sec. 5)."""
+        self._rows[patch_id].valid = False
+
+    def is_valid(self, patch_id: int) -> bool:
+        """True when the patch's counter row has its valid bit set."""
+        row = self._rows.get(patch_id)
+        return row is not None and row.valid
+
+    def tick(self, n: int = 1) -> None:
+        """Advance the global clock by ``n`` ticks (1 ns each)."""
+        if n < 0:
+            raise ValueError("cannot tick backwards")
+        for patch_id, row in self._rows.items():
+            if not row.valid:
+                continue
+            duration = self.metadata.cycle_duration(patch_id)
+            total = row.counter + n
+            row.completed_cycles += total // duration
+            row.counter = total % duration
+
+    def elapsed_in_cycle(self, patch_id: int) -> int:
+        """Time elapsed in the patch's current cycle (the counter value)."""
+        row = self._rows[patch_id]
+        if not row.valid:
+            raise ValueError(f"patch {patch_id} is not valid")
+        return row.counter
+
+    def completed_cycles(self, patch_id: int) -> int:
+        """Number of full syndrome cycles completed so far."""
+        return self._rows[patch_id].completed_cycles
+
+    @staticmethod
+    def counter_bits(cycle_duration_ns: int, clock_ghz: float = 1.0) -> int:
+        """Counter width needed to hold one full cycle at the given clock."""
+        ticks = math.ceil(cycle_duration_ns * clock_ghz)
+        return max(1, math.ceil(math.log2(ticks + 1)))

@@ -1,0 +1,31 @@
+"""Decoders for detector error models: union-find, MWPM, LUT, hierarchical."""
+
+from .graph import MatchingGraph, build_matching_graph, graphlike_distance
+from .hierarchical import DecodeStats, HierarchicalDecoder, measure_decoder_latencies
+from .lut import (
+    LookupTableDecoder,
+    lut_entry_bytes,
+    lut_weight_threshold,
+    max_entries_for_budget,
+)
+from .mwpm import MWPMDecoder
+from .predecoder import PredecodedDecoder, Predecoder, PredecodeStats
+from .unionfind import UnionFindDecoder
+
+__all__ = [
+    "MatchingGraph",
+    "build_matching_graph",
+    "graphlike_distance",
+    "DecodeStats",
+    "HierarchicalDecoder",
+    "measure_decoder_latencies",
+    "LookupTableDecoder",
+    "lut_entry_bytes",
+    "lut_weight_threshold",
+    "max_entries_for_budget",
+    "MWPMDecoder",
+    "PredecodedDecoder",
+    "Predecoder",
+    "PredecodeStats",
+    "UnionFindDecoder",
+]

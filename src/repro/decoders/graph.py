@@ -1,0 +1,274 @@
+"""Matching-graph construction from detector error models.
+
+Turns a :class:`~repro.stab.dem.DetectorErrorModel` into the weighted graph
+used by matching-style decoders (union-find, MWPM):
+
+* errors with one detector become *boundary edges* to a virtual boundary node,
+* errors with two detectors become ordinary edges,
+* errors with more detectors are decomposed into known graphlike edges (the
+  analogue of Stim's ``decompose_errors=True``).
+
+Also provides :func:`graphlike_distance`, a two-layer Dijkstra that computes
+the circuit-level fault distance — the validation tool that catches bad
+stabilizer-measurement schedules (hook errors).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import xor_probability
+from ..stab.dem import DetectorErrorModel
+
+__all__ = ["MatchingGraph", "build_matching_graph", "graphlike_distance"]
+
+#: probability floor to keep weights finite
+_P_FLOOR = 1e-12
+
+
+@dataclass
+class MatchingGraph:
+    """Weighted decoding graph over detector nodes plus one boundary node."""
+
+    num_detectors: int
+    num_observables: int
+    edge_u: np.ndarray
+    edge_v: np.ndarray  # == num_detectors for boundary edges
+    edge_prob: np.ndarray
+    edge_weight: np.ndarray  # -log(p / (1-p)), clipped positive
+    edge_obs: np.ndarray  # uint64 bitmask over observables
+    #: probability mass of errors invisible to this graph but flipping obs
+    undetectable_obs_probability: np.ndarray = field(default=None)
+    #: number of composite errors that could not be decomposed exactly
+    decomposition_fallbacks: int = 0
+
+    # adjacency in CSR form (built lazily)
+    _adj_indptr: np.ndarray | None = None
+    _adj_edges: np.ndarray | None = None
+
+    @property
+    def boundary_node(self) -> int:
+        return self.num_detectors
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_u.size)
+
+    def adjacency(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR (indptr, edge-id list) of edges incident to each node."""
+        if self._adj_indptr is None:
+            n = self.num_detectors + 1
+            counts = np.zeros(n, dtype=np.int64)
+            np.add.at(counts, self.edge_u, 1)
+            np.add.at(counts, self.edge_v, 1)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            edges = np.zeros(indptr[-1], dtype=np.int64)
+            fill = indptr[:-1].copy()
+            for e in range(self.num_edges):
+                for node in (int(self.edge_u[e]), int(self.edge_v[e])):
+                    edges[fill[node]] = e
+                    fill[node] += 1
+            self._adj_indptr, self._adj_edges = indptr, edges
+        return self._adj_indptr, self._adj_edges
+
+    def integer_weights(self, resolution: int = 16) -> np.ndarray:
+        """Even integer weights for half-step union-find growth."""
+        w = self.edge_weight
+        scale = resolution / max(float(np.median(w)), 1e-9)
+        iw = np.maximum(2, np.round(w * scale / 2).astype(np.int64) * 2)
+        return iw
+
+
+def build_matching_graph(
+    dem: DetectorErrorModel,
+    *,
+    basis: str | None = None,
+    merge_parallel: bool = True,
+) -> MatchingGraph:
+    """Build the matching graph, optionally restricting to one CSS basis."""
+    model = dem.filtered(basis) if basis is not None else dem
+    nobs = model.num_observables
+    if nobs > 64:
+        raise ValueError("observable bitmask limited to 64 observables")
+
+    edges: dict[tuple[int, int, int], float] = {}
+    primitive: dict[tuple[int, int], list[int]] = {}
+    undetectable = np.zeros(nobs, dtype=np.float64)
+    boundary = model.num_detectors
+    composites = []
+
+    for err in model.errors:
+        mask = _obs_mask(err.observables)
+        dets = err.detectors
+        if len(dets) == 0:
+            for o in err.observables:
+                undetectable[o] = xor_probability(undetectable[o], err.probability)
+            continue
+        if len(dets) == 1:
+            key = (dets[0], boundary, mask)
+        elif len(dets) == 2:
+            key = (dets[0], dets[1], mask)
+        else:
+            composites.append((dets, mask, err.probability))
+            continue
+        _accumulate(edges, key, err.probability)
+        primitive.setdefault((key[0], key[1]), []).append(mask)
+
+    fallbacks = 0
+    for dets, mask, prob in composites:
+        parts = _decompose(dets, mask, primitive, boundary)
+        if parts is None:
+            fallbacks += 1
+            parts = _fallback_decomposition(dets, mask, boundary)
+        for key in parts:
+            _accumulate(edges, key, prob)
+
+    keys = sorted(edges)
+    eu = np.array([k[0] for k in keys], dtype=np.int64)
+    ev = np.array([k[1] for k in keys], dtype=np.int64)
+    eobs = np.array([k[2] for k in keys], dtype=np.uint64)
+    eprob = np.array([edges[k] for k in keys], dtype=np.float64)
+    eprob = np.clip(eprob, _P_FLOOR, 1 - _P_FLOOR)
+    eweight = np.log((1 - eprob) / eprob)
+    eweight = np.maximum(eweight, 1e-9)
+    return MatchingGraph(
+        num_detectors=model.num_detectors,
+        num_observables=nobs,
+        edge_u=eu,
+        edge_v=ev,
+        edge_prob=eprob,
+        edge_weight=eweight,
+        edge_obs=eobs,
+        undetectable_obs_probability=undetectable,
+        decomposition_fallbacks=fallbacks,
+    )
+
+
+def _obs_mask(observables) -> int:
+    mask = 0
+    for o in observables:
+        mask |= 1 << o
+    return mask
+
+
+def _accumulate(edges, key, prob) -> None:
+    u, v, mask = key
+    if u > v:
+        u, v = v, u
+    key = (u, v, mask)
+    edges[key] = xor_probability(edges.get(key, 0.0), prob)
+
+
+def _decompose(dets, mask, primitive, boundary):
+    """Split a composite signature into known primitive edges.
+
+    Tries every partition of the detector set into pairs and singles where
+    each pair is an existing edge and each single has an existing boundary
+    edge.  Prefers partitions whose canonical observable masks XOR to the
+    composite's mask; otherwise dumps the residual mask on the first part.
+    """
+    dets = list(dets)
+    best = None
+    for parts in _partitions(dets):
+        keys = []
+        ok = True
+        total_mask = 0
+        for part in parts:
+            uv = (part[0], part[1]) if len(part) == 2 else (part[0], boundary)
+            masks = primitive.get(uv)
+            if masks is None:
+                ok = False
+                break
+            keys.append((uv[0], uv[1], masks[0]))
+            total_mask ^= masks[0]
+        if not ok:
+            continue
+        if total_mask == mask:
+            return keys
+        if best is None:
+            residual = total_mask ^ mask
+            fixed = [(keys[0][0], keys[0][1], keys[0][2] ^ residual)] + keys[1:]
+            best = fixed
+    return best
+
+
+def _partitions(dets):
+    """All partitions of a small detector set into pairs and singletons."""
+    if not dets:
+        yield []
+        return
+    first, rest = dets[0], dets[1:]
+    # first as a singleton (boundary edge)
+    for tail in _partitions(rest):
+        yield [[first]] + tail
+    # first paired with each other element
+    for i, other in enumerate(rest):
+        remaining = rest[:i] + rest[i + 1 :]
+        for tail in _partitions(remaining):
+            yield [[first, other]] + tail
+
+
+def _fallback_decomposition(dets, mask, boundary):
+    """Last resort: chain consecutive detectors, residual obs on first part."""
+    dets = sorted(dets)
+    keys = []
+    for i in range(0, len(dets) - 1, 2):
+        keys.append((dets[i], dets[i + 1], 0))
+    if len(dets) % 2 == 1:
+        keys.append((dets[-1], boundary, 0))
+    keys[0] = (keys[0][0], keys[0][1], mask)
+    return keys
+
+
+def graphlike_distance(graph: MatchingGraph, obs_index: int = 0) -> int:
+    """Minimum number of graph edges whose combination flips ``obs_index``
+    while producing an empty syndrome (i.e. the circuit fault distance).
+
+    Implemented as BFS/Dijkstra with unit edge costs on a two-layer graph
+    (node, observable parity); a logical operator is a boundary-to-boundary
+    walk with odd parity, or any odd-parity cycle.
+    """
+    n = graph.num_detectors + 1
+    indptr, eids = graph.adjacency()
+    bit = np.uint64(1 << obs_index)
+    obs_parity = ((graph.edge_obs & bit) != 0).astype(np.int8)
+
+    best = math.inf
+    # boundary-to-boundary odd walk
+    dist = _two_layer_dijkstra(graph, indptr, eids, obs_parity, source=graph.boundary_node)
+    best = min(best, dist[graph.boundary_node, 1])
+    if math.isinf(best):
+        # fall back to odd cycles anchored at each odd edge (rare)
+        odd_edges = np.flatnonzero(obs_parity)
+        for e in odd_edges:
+            u, v = int(graph.edge_u[e]), int(graph.edge_v[e])
+            dist_u = _two_layer_dijkstra(graph, indptr, eids, obs_parity, source=u, skip_edge=e)
+            best = min(best, dist_u[v, 0] + 1)
+    return int(best) if not math.isinf(best) else -1
+
+
+def _two_layer_dijkstra(graph, indptr, eids, obs_parity, source, skip_edge=-1):
+    n = graph.num_detectors + 1
+    dist = np.full((n, 2), math.inf)
+    dist[source, 0] = 0
+    heap = [(0, source, 0)]
+    while heap:
+        d, node, par = heapq.heappop(heap)
+        if d > dist[node, par]:
+            continue
+        for e in eids[indptr[node] : indptr[node + 1]]:
+            if e == skip_edge:
+                continue
+            u, v = int(graph.edge_u[e]), int(graph.edge_v[e])
+            other = v if u == node else u
+            npar = par ^ int(obs_parity[e])
+            nd = d + 1
+            if nd < dist[other, npar]:
+                dist[other, npar] = nd
+                heapq.heappush(heap, (nd, other, npar))
+    return dist

@@ -1,0 +1,129 @@
+"""Lookup-table decoder.
+
+Enumerates all combinations of up to ``max_errors`` matching-graph edges,
+storing the lowest-weight correction (observable mask) for every reachable
+syndrome.  Exact for codes/rounds small enough that the true error never
+exceeds ``max_errors`` edges; used for the repetition-code experiments
+(Fig. 1c) and as the fast level of the hierarchical decoder (Sec. 7.5).
+
+The table-size model mirrors the paper: an entry stores the syndrome key plus
+the correction, so a size budget in bytes translates into a maximum number of
+entries and hence a maximum enumerable defect weight.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from .graph import MatchingGraph
+
+__all__ = ["LookupTableDecoder", "lut_entry_bytes", "max_entries_for_budget"]
+
+
+def lut_entry_bytes(num_detectors: int, num_observables: int) -> int:
+    """Bytes per LUT entry: syndrome key + observable correction, rounded up."""
+    return max(1, math.ceil((num_detectors + num_observables) / 8))
+
+
+def max_entries_for_budget(size_bytes: int, num_detectors: int, num_observables: int) -> int:
+    """Entries that fit in ``size_bytes`` of LUT storage."""
+    return max(1, size_bytes // lut_entry_bytes(num_detectors, num_observables))
+
+
+def lut_weight_threshold(window_bits: int, size_bytes: int, num_observables: int = 2) -> int:
+    """Largest syndrome weight fully enumerable within a size budget.
+
+    Models the Sec. 7.5 hierarchical decoder: the LUT indexes the syndrome of
+    one decoding window (``window_bits`` detectors); with ``size_bytes`` of
+    storage it can hold every syndrome of Hamming weight up to the returned
+    threshold.  Returns ``window_bits`` when the whole space fits.
+    """
+    entries = max_entries_for_budget(size_bytes, window_bits, num_observables)
+    if entries >= 2**window_bits:
+        return window_bits
+    total = 1  # weight-0 syndrome
+    choose = 1
+    for t in range(1, window_bits + 1):
+        choose = choose * (window_bits - t + 1) // t
+        total += choose
+        if total > entries:
+            return t - 1
+    return window_bits
+
+
+class LookupTableDecoder:
+    """Exact-within-budget decoder backed by an enumerated syndrome table."""
+
+    def __init__(
+        self,
+        graph: MatchingGraph,
+        *,
+        max_errors: int = 2,
+        max_entries: int | None = None,
+    ):
+        self.graph = graph
+        self.max_errors = max_errors
+        self.table: dict[bytes, tuple[float, int]] = {}
+        self._build(max_entries)
+
+    def _build(self, max_entries: int | None) -> None:
+        g = self.graph
+        ndet = g.num_detectors
+        edges = range(g.num_edges)
+        empty = np.zeros(ndet, dtype=bool)
+        self.table[empty.tobytes()] = (0.0, 0)
+        for k in range(1, self.max_errors + 1):
+            for combo in itertools.combinations(edges, k):
+                syndrome = empty.copy()
+                weight = 0.0
+                mask = 0
+                for e in combo:
+                    for node in (int(g.edge_u[e]), int(g.edge_v[e])):
+                        if node < ndet:
+                            syndrome[node] ^= True
+                    weight += float(g.edge_weight[e])
+                    mask ^= int(g.edge_obs[e])
+                key = syndrome.tobytes()
+                cur = self.table.get(key)
+                if cur is None or weight < cur[0]:
+                    self.table[key] = (weight, mask)
+                if max_entries is not None and len(self.table) >= max_entries:
+                    return
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.table)
+
+    def size_bytes(self) -> int:
+        """Storage the table occupies under the entry-size model."""
+        return self.num_entries * lut_entry_bytes(
+            self.graph.num_detectors, self.graph.num_observables
+        )
+
+    def lookup(self, detectors: np.ndarray) -> tuple[bool, int]:
+        """Return ``(hit, obs_mask)``; a miss returns ``(False, 0)``."""
+        entry = self.table.get(np.asarray(detectors, dtype=bool).tobytes())
+        if entry is None:
+            return False, 0
+        return True, entry[1]
+
+    def decode(self, detectors: np.ndarray) -> int:
+        """Decode one detector bitstring into an observable-flip bitmask."""
+        hit, mask = self.lookup(detectors)
+        if not hit:
+            raise KeyError("syndrome not present in lookup table")
+        return mask
+
+    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
+        """Decode (shots x detectors) outcomes to (shots x nobs) flips."""
+        shots = detectors.shape[0]
+        out = np.zeros((shots, self.graph.num_observables), dtype=bool)
+        for s in range(shots):
+            mask = self.decode(detectors[s])
+            for o in range(self.graph.num_observables):
+                if mask >> o & 1:
+                    out[s, o] = True
+        return out

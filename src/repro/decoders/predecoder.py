@@ -1,0 +1,139 @@
+"""Local predecoding (the Clique / local-predecoder family the paper cites).
+
+A predecoder removes the trivial majority of defects — isolated pairs
+connected by a single graph edge, and isolated boundary-adjacent defects —
+before the expensive global decoder runs.  This both shrinks the global
+decoder's workload (the latency motivation of Sec. 7.5's related work) and
+leaves the hard, correlated cores (like Passive synchronization's merge-round
+spike) for matching.
+
+:class:`PredecodedDecoder` wraps any decoder with this local pass and tracks
+how much of the syndrome the predecoder absorbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import MatchingGraph
+
+__all__ = ["Predecoder", "PredecodedDecoder", "PredecodeStats"]
+
+
+@dataclass
+class PredecodeStats:
+    """Aggregate effect of the local pass over a batch."""
+
+    shots: int = 0
+    defects_total: int = 0
+    defects_removed: int = 0
+    fully_predecoded_shots: int = 0
+
+    @property
+    def removal_fraction(self) -> float:
+        return self.defects_removed / self.defects_total if self.defects_total else 0.0
+
+    @property
+    def offload_fraction(self) -> float:
+        """Shots the global decoder never saw."""
+        return self.fully_predecoded_shots / self.shots if self.shots else 0.0
+
+
+class Predecoder:
+    """Local pass: match isolated defect pairs and lonely boundary defects."""
+
+    def __init__(self, graph: MatchingGraph):
+        self.graph = graph
+        indptr, eids = graph.adjacency()
+        self._indptr, self._eids = indptr, eids
+        self._eu, self._ev = graph.edge_u, graph.edge_v
+        self._eobs = graph.edge_obs
+        self._boundary = graph.boundary_node
+        # cheapest boundary edge per detector (if any)
+        nb = graph.num_detectors
+        self._boundary_edge = np.full(nb, -1, dtype=np.int64)
+        best = np.full(nb, np.inf)
+        for e in range(graph.num_edges):
+            u, v = int(graph.edge_u[e]), int(graph.edge_v[e])
+            if v == self._boundary and graph.edge_weight[e] < best[u]:
+                best[u] = graph.edge_weight[e]
+                self._boundary_edge[u] = e
+            if u == self._boundary and graph.edge_weight[e] < best[v]:
+                best[v] = graph.edge_weight[e]
+                self._boundary_edge[v] = e
+
+    def neighbours(self, node: int, defect_set: set[int]) -> list[tuple[int, int]]:
+        """(edge, other-defect) pairs among this defect's direct neighbours."""
+        out = []
+        for e in self._eids[self._indptr[node] : self._indptr[node + 1]]:
+            e = int(e)
+            other = int(self._ev[e]) if int(self._eu[e]) == node else int(self._eu[e])
+            if other in defect_set:
+                out.append((e, other))
+        return out
+
+    def apply(self, detectors: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """One local pass; returns (residual syndrome, obs mask, removed count)."""
+        residual = detectors.copy()
+        defects = set(np.flatnonzero(residual).tolist())
+        mask = 0
+        removed = 0
+        for node in sorted(defects):
+            if node not in defects:
+                continue
+            partners = self.neighbours(node, defects)
+            other_defects = {o for _, o in partners}
+            if len(other_defects) == 1:
+                # exactly one defect neighbour: check it pairs back uniquely
+                edge, other = partners[0]
+                back = {o for _, o in self.neighbours(other, defects)} - {node}
+                if not back:
+                    mask ^= int(self._eobs[edge])
+                    defects.discard(node)
+                    defects.discard(other)
+                    residual[node] = residual[other] = False
+                    removed += 2
+            elif not other_defects:
+                # isolated defect: send it to the boundary if one is adjacent
+                e = self._boundary_edge[node]
+                if e >= 0:
+                    mask ^= int(self._eobs[e])
+                    defects.discard(node)
+                    residual[node] = False
+                    removed += 1
+        return residual, mask, removed
+
+
+class PredecodedDecoder:
+    """Predecoder in front of any ``decode(detectors) -> mask`` decoder."""
+
+    def __init__(self, graph: MatchingGraph, slow_decoder):
+        self.predecoder = Predecoder(graph)
+        self.slow = slow_decoder
+        self.stats = PredecodeStats()
+        self._nobs = graph.num_observables
+
+    def decode(self, detectors: np.ndarray) -> int:
+        """Decode one detector bitstring into an observable-flip bitmask."""
+        residual, mask, removed = self.predecoder.apply(detectors)
+        self.stats.shots += 1
+        self.stats.defects_total += int(detectors.sum())
+        self.stats.defects_removed += removed
+        if residual.any():
+            mask ^= self.slow.decode(residual)
+        else:
+            self.stats.fully_predecoded_shots += 1
+        return mask
+
+    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
+        """Decode (shots x detectors) outcomes to (shots x nobs) flips."""
+        shots = detectors.shape[0]
+        out = np.zeros((shots, self._nobs), dtype=bool)
+        for s in range(shots):
+            mask = self.decode(detectors[s])
+            for o in range(self._nobs):
+                if mask >> o & 1:
+                    out[s, o] = True
+        return out

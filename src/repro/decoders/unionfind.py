@@ -1,0 +1,198 @@
+"""Union-find decoder (Delfosse–Nickerson) with weighted growth and peeling.
+
+This is the project's workhorse decoder: almost-linear-time, accuracy close
+to MWPM on surface-code graphs, and fast enough in pure Python to decode the
+tens of thousands of shots per configuration used by the benchmark harness.
+
+Algorithm: defects seed clusters; active (odd, boundary-free) clusters grow
+all frontier edges by half-integer weight steps; fully grown edges union the
+clusters; when every cluster is neutral, a spanning forest of each cluster is
+peeled from the leaves to produce a correction, whose observable masks are
+XOR-ed into the prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import MatchingGraph
+
+__all__ = ["UnionFindDecoder"]
+
+
+class UnionFindDecoder:
+    """Decodes detector bitstrings into observable-flip predictions."""
+
+    def __init__(self, graph: MatchingGraph, *, weight_resolution: int = 16):
+        self.graph = graph
+        self._indptr, self._eids = graph.adjacency()
+        self._weights = graph.integer_weights(weight_resolution)
+        self._eu = graph.edge_u
+        self._ev = graph.edge_v
+        self._eobs = graph.edge_obs
+        self._boundary = graph.boundary_node
+
+    # -- public API ----------------------------------------------------------
+
+    def decode(self, detectors: np.ndarray) -> int:
+        """Decode one shot (boolean detector vector) to an obs bitmask."""
+        defects = np.flatnonzero(detectors)
+        if defects.size == 0:
+            return 0
+        return self._decode_defects(defects.tolist())
+
+    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
+        """Decode ``(shots, num_detectors)`` outcomes to ``(shots, nobs)`` bools."""
+        shots = detectors.shape[0]
+        nobs = self.graph.num_observables
+        out = np.zeros((shots, nobs), dtype=bool)
+        rows, cols = np.nonzero(detectors)
+        if rows.size == 0:
+            return out
+        starts = np.searchsorted(rows, np.arange(shots + 1))
+        for s in range(shots):
+            lo, hi = starts[s], starts[s + 1]
+            if lo == hi:
+                continue
+            mask = self._decode_defects(cols[lo:hi].tolist())
+            for o in range(nobs):
+                if mask >> o & 1:
+                    out[s, o] = True
+        return out
+
+    # -- core ------------------------------------------------------------------
+
+    def _decode_defects(self, defects: list[int]) -> int:
+        parent: dict[int, int] = {}
+        rank: dict[int, int] = {}
+        parity: dict[int, int] = {}
+        touches_boundary: dict[int, bool] = {}
+        members: dict[int, list[int]] = {}
+        growth: dict[int, int] = {}
+        solid: set[int] = set()
+
+        def find(a: int) -> int:
+            root = a
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(a, a) != a:
+                parent[a], a = root, parent[a]
+            return root
+
+        def add_node(a: int) -> int:
+            if a not in parent:
+                parent[a] = a
+                rank[a] = 0
+                parity[a] = 0
+                touches_boundary[a] = a == self._boundary
+                members[a] = [a]
+            return find(a)
+
+        def union(a: int, b: int) -> int:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return ra
+            if rank[ra] < rank[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            if rank[ra] == rank[rb]:
+                rank[ra] += 1
+            parity[ra] ^= parity[rb]
+            touches_boundary[ra] = touches_boundary[ra] or touches_boundary[rb]
+            members[ra].extend(members[rb])
+            return ra
+
+        for d in defects:
+            r = add_node(d)
+            parity[r] ^= 1
+
+        indptr, eids = self._indptr, self._eids
+        eu, ev, weights = self._eu, self._ev, self._weights
+
+        max_rounds = 4 * (self.graph.num_edges + 2)
+        for _ in range(max_rounds):
+            active_roots = {
+                find(d)
+                for d in defects
+                if parity[find(d)] == 1 and not touches_boundary[find(d)]
+            }
+            if not active_roots:
+                break
+            # frontier: non-solid edges incident to active clusters, with the
+            # number of distinct active clusters pushing on each edge (an edge
+            # between two active clusters grows from both sides).
+            frontier: dict[int, int] = {}
+            for root in active_roots:
+                seen: set[int] = set()
+                for node in members[root]:
+                    for e in eids[indptr[node] : indptr[node + 1]]:
+                        e = int(e)
+                        if e not in solid and e not in seen:
+                            seen.add(e)
+                            frontier[e] = frontier.get(e, 0) + 1
+            if not frontier:
+                break  # isolated odd cluster with no frontier: give up
+            # event-driven growth: jump straight to the next edge completion
+            step = min(
+                -((growth.get(e, 0) - int(weights[e])) // c) for e, c in frontier.items()
+            )
+            completed: list[int] = []
+            for e, c in frontier.items():
+                g = growth.get(e, 0) + c * step
+                growth[e] = g
+                if g >= weights[e]:
+                    completed.append(e)
+            for e in completed:
+                if e in solid:
+                    continue
+                solid.add(e)
+                a, b = int(eu[e]), int(ev[e])
+                add_node(a)
+                add_node(b)
+                union(a, b)
+
+        return self._peel(defects, solid, find_nodes=set(parent))
+
+    def _peel(self, defects: list[int], solid: set[int], find_nodes: set[int]) -> int:
+        """Peel a spanning forest of the solid subgraph; boundary is a sink."""
+        if not solid:
+            return 0
+        eu, ev, eobs = self._eu, self._ev, self._eobs
+        adj: dict[int, list[int]] = {}
+        for e in solid:
+            a, b = int(eu[e]), int(ev[e])
+            adj.setdefault(a, []).append(e)
+            adj.setdefault(b, []).append(e)
+
+        # spanning forest via BFS, roots preferring the boundary node
+        visited: set[int] = set()
+        tree_children: dict[int, list[tuple[int, int]]] = {}
+        order: list[tuple[int, int, int]] = []  # (node, parent, edge)
+        nodes = sorted(adj, key=lambda n: 0 if n == self._boundary else 1)
+        for start in nodes:
+            if start in visited:
+                continue
+            visited.add(start)
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for e in adj[node]:
+                    other = int(ev[e]) if int(eu[e]) == node else int(eu[e])
+                    if other in visited:
+                        continue
+                    visited.add(other)
+                    order.append((other, node, e))
+                    stack.append(other)
+
+        defect_set = {}
+        for d in defects:
+            defect_set[d] = defect_set.get(d, 0) ^ 1
+        mask = 0
+        # peel leaves (reverse BFS order): each node decides its parent edge
+        for node, parent_node, e in reversed(order):
+            if defect_set.get(node, 0):
+                mask ^= int(eobs[e])
+                defect_set[node] = 0
+                if parent_node != self._boundary:
+                    defect_set[parent_node] = defect_set.get(parent_node, 0) ^ 1
+        return mask

@@ -1,0 +1,18 @@
+"""Experiment runners: LER pipelines, statistics, per-figure data generation."""
+
+from .ler import LerResult, SurgeryLerConfig, prepared_pipeline, run_surgery_ler
+from .parallel import SweepTask, merge_results, run_sweep_parallel
+from .stats import RateEstimate, ratio_of_rates, wilson_interval
+
+__all__ = [
+    "LerResult",
+    "SurgeryLerConfig",
+    "prepared_pipeline",
+    "run_surgery_ler",
+    "SweepTask",
+    "merge_results",
+    "run_sweep_parallel",
+    "RateEstimate",
+    "ratio_of_rates",
+    "wilson_interval",
+]

@@ -1,0 +1,936 @@
+"""Data generation for every table and figure in the paper's evaluation.
+
+Each ``fig_*`` / ``table_*`` function regenerates the data behind one plot or
+table, at shot counts / distances scaled for a workstation (the paper used
+128 cores for 5 days; see EXPERIMENTS.md for the mapping).  The benchmark
+harness in ``benchmarks/`` calls these functions and prints the same
+rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import resolve_rng
+from ..casestudies.cultivation import cultivation_slack_distribution
+from ..casestudies.qldpc_slack import qldpc_surface_slack
+from ..codes.repetition import repetition_experiment
+from ..core.planner import PatchState, plan_k_patch_sync
+from ..core.policies import PolicyNotApplicableError, make_policy
+from ..core.slack import extra_rounds_solution, hybrid_solution
+from ..decoders.graph import build_matching_graph
+from ..decoders.hierarchical import measure_decoder_latencies
+from ..decoders.mwpm import MWPMDecoder
+from ..decoders.unionfind import UnionFindDecoder
+from ..noise.dd import BRISBANE_DD, DDModel
+from ..noise.hardware import GOOGLE, IBM, QUERA, HardwareConfig
+from ..noise.models import NoiseModel
+from ..stab.dem import circuit_to_dem
+from ..stab.sampler import DemSampler
+from ..workloads.generators import PAPER_WORKLOADS, build_workload
+from ..workloads.sync_estimate import (
+    max_concurrent_cnots,
+    program_ler_increase,
+    syncs_per_cycle_table,
+)
+from .ler import SurgeryLerConfig, prepared_pipeline, run_surgery_ler
+from .stats import RateEstimate
+
+__all__ = [
+    "fig1c_repetition_idle",
+    "fig1d_tcount_headroom",
+    "fig3c_syncs_per_cycle",
+    "fig4a_cultivation_slack",
+    "fig4b_qldpc_slack",
+    "fig6_dd_fidelity",
+    "fig7_hamming_weight",
+    "fig10_extra_rounds_configs",
+    "fig11_hybrid_heatmap",
+    "fig14_active_vs_passive",
+    "fig15_cost_of_synchronization",
+    "fig16_workload_ler_increase",
+    "fig17_active_intra",
+    "fig18_additional_rounds",
+    "fig19_policy_comparison",
+    "fig20_engine_scaling",
+    "fig21_neutral_atom",
+    "fig22_decoder_speedup",
+    "table1_error_counts",
+    "table2_policy_configuration",
+    "table4_mean_reductions",
+    "table5_neutral_atom_rounds",
+]
+
+#: Sherbrooke qubits used in the paper's footnote 1 (T1=330.77us, T2=72.68us)
+SHERBROOKE = HardwareConfig(
+    name="sherbrooke",
+    t1_ns=330_770.0,
+    t2_ns=72_680.0,
+    time_1q_ns=60.0,
+    time_2q_ns=533.0,
+    time_readout_ns=1_200.0,
+    time_reset_ns=0.0,
+)
+
+#: Fig. 1c calibration: the hardware LER grows ~10x over an 800 ns idle even
+#: under X-X DD — orders of magnitude beyond what the reported T1/T2 predict,
+#: and a *bit-flip* code is blind to pure dephasing anyway.  The hardware
+#: behaviour is consistent with strong effective depolarization during free
+#: idling (TLS hot spots, readout ring-down); we reproduce the curve with an
+#: effective depolarizing idle channel of time constant ~2 us.
+SHERBROOKE_IDLE = HardwareConfig(
+    name="sherbrooke-idle-effective",
+    t1_ns=2_000.0,
+    t2_ns=2_000.0,
+    time_1q_ns=60.0,
+    time_2q_ns=533.0,
+    time_readout_ns=1_200.0,
+    time_reset_ns=0.0,
+)
+
+#: Google-like coherence on IBM-like latencies, as used in Table 1
+TABLE1_HARDWARE = HardwareConfig(
+    name="table1",
+    t1_ns=25_000.0,
+    t2_ns=40_000.0,
+    time_1q_ns=50.0,
+    time_2q_ns=70.0,
+    time_readout_ns=1500.0,
+    time_reset_ns=20.0,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1(c): repetition-code LER vs idling period
+# ---------------------------------------------------------------------------
+
+
+def fig1c_repetition_idle(
+    idle_periods_ns=(0, 100, 200, 300, 400, 500, 600, 700, 800),
+    shots: int = 20_000,
+    *,
+    num_data: int = 3,
+    rounds: int = 2,
+    hardware: HardwareConfig = SHERBROOKE_IDLE,
+    p: float = 2e-2,
+    rng=None,
+) -> dict[float, dict[str, float]]:
+    """LER of the repetition code vs idle period before the final round.
+
+    Returns ``{idle_ns: {"zero": ler, "one": ler}}`` for the two logical
+    preparations (statistically identical under Pauli-frame noise, sampled
+    with independent seeds as on hardware).
+    """
+    rng = resolve_rng(rng)
+    noise = NoiseModel(hardware=hardware, p=p)
+    out: dict[float, dict[str, float]] = {}
+    for idle in idle_periods_ns:
+        art = repetition_experiment(
+            num_data, rounds, noise, idle_before_last_round_ns=float(idle)
+        )
+        dem = circuit_to_dem(art.circuit)
+        graph = build_matching_graph(dem, basis="Z")
+        decoder = UnionFindDecoder(graph)
+        sampler = DemSampler(dem)
+        rates = {}
+        for label in ("zero", "one"):
+            det, obs = sampler.sample(shots, rng)
+            pred = decoder.decode_batch(det)
+            rates[label] = float((pred[:, :1] ^ obs).mean())
+        out[float(idle)] = rates
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1(d): normalized T-count headroom
+# ---------------------------------------------------------------------------
+
+
+def fig1d_tcount_headroom(ler_passive: float, ler_active: float) -> float:
+    """Normalized T count enabled by the Active policy (Fig. 1d).
+
+    Under the linear program-error model, a policy with per-operation LER
+    ``e`` supports a circuit with ~1/e magic-state consumptions at constant
+    failure probability, so the depth headroom is the LER ratio.
+    """
+    if ler_active <= 0:
+        raise ValueError("active LER must be positive")
+    return ler_passive / ler_active
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3(c) / Fig. 20 inset: workload-level estimates
+# ---------------------------------------------------------------------------
+
+
+def fig3c_syncs_per_cycle(code_distance: int = 15):
+    """Minimum synchronizations per logical cycle for the six workloads."""
+    return syncs_per_cycle_table(code_distance=code_distance)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4: case studies
+# ---------------------------------------------------------------------------
+
+
+def fig4a_cultivation_slack(shots: int = 100_000, rng=None):
+    """Cultivation slack distributions for IBM/Google at p=5e-4 and 1e-3."""
+    rng = resolve_rng(rng)
+    out = {}
+    for hw in (IBM, GOOGLE):
+        for p in (5e-4, 1e-3):
+            dist = cultivation_slack_distribution(hw, p, shots, rng=rng)
+            out[(hw.name, p)] = dist
+    return out
+
+
+def fig4b_qldpc_slack(rounds: int = 100):
+    """Slack vs QEC rounds when qLDPC memories run beside surface patches."""
+    return {hw.name: qldpc_surface_slack(rounds, hw) for hw in (IBM, GOOGLE)}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: DD fidelity, Passive vs Active windows
+# ---------------------------------------------------------------------------
+
+
+def fig6_dd_fidelity(
+    idle_periods_us=(0.8, 1.6, 2.4, 3.2, 4.0, 5.6),
+    n_values=(20, 200),
+    model: DDModel = BRISBANE_DD,
+):
+    """Mean fidelity after a total idle tp: one window vs N windows."""
+    out = {}
+    for n in n_values:
+        rows = []
+        for tp_us in idle_periods_us:
+            tp_ns = tp_us * 1000.0
+            rows.append(
+                {
+                    "tp_us": tp_us,
+                    "passive": model.sequence_fidelity(tp_ns, 1),
+                    "active": model.sequence_fidelity(tp_ns, n),
+                }
+            )
+        out[n] = rows
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7: syndrome Hamming weight analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HammingWeightData:
+    """Fig. 7 data for one policy."""
+
+    policy: str
+    #: mean detector Hamming weight per round label
+    weight_per_round: dict[int, float]
+    #: (weight_bin, shots, failures) rows for the LER-vs-weight scatter
+    ler_by_weight: list[tuple[int, int, int]]
+    merge_round_label: int
+
+
+def fig7_hamming_weight(
+    distance: int = 5,
+    tau_ns: float = 1000.0,
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = GOOGLE,
+    rng=None,
+) -> dict[str, HammingWeightData]:
+    """Per-round syndrome weights and LER-vs-weight under both policies."""
+    rng = resolve_rng(rng)
+    out = {}
+    for policy_name in ("passive", "active"):
+        config = SurgeryLerConfig(
+            distance=distance, hardware=hardware, policy_name=policy_name, tau_ns=tau_ns
+        )
+        pipe = prepared_pipeline(config, make_policy(policy_name))
+        det, obs = pipe.sampler.sample(shots, rng)
+        pred = pipe.decoder("unionfind").decode_batch(det)
+        failures = (pred[:, 1] ^ obs[:, 1]).astype(int)  # joint observable
+        weights = det.sum(axis=1)
+        rows = []
+        for w in np.unique(weights):
+            mask = weights == w
+            rows.append((int(w), int(mask.sum()), int(failures[mask].sum())))
+        per_round = {}
+        for label, indices in sorted(pipe.artifacts.detectors_by_round.items()):
+            per_round[label] = float(det[:, indices].sum(axis=1).mean())
+        merge_label = pipe.plan.timeline_p.num_rounds
+        out[policy_name] = HammingWeightData(
+            policy=policy_name,
+            weight_per_round=per_round,
+            ler_by_weight=rows,
+            merge_round_label=merge_label,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 / Fig. 11: extra-rounds arithmetic
+# ---------------------------------------------------------------------------
+
+FIG10_CONFIGS = [
+    (1000, 1200, 500),
+    (1000, 1200, 1000),
+    (1000, 1150, 500),
+    (1000, 1150, 1000),
+    (1000, 1325, 500),
+    (1000, 1325, 1000),
+    (1000, 1725, 500),
+    (1000, 1725, 1000),
+]
+
+
+def fig10_extra_rounds_configs(configs=None):
+    """Extra rounds needed per Eq. (1) for the Fig. 10 configurations."""
+    out = []
+    for t_p, t_pp, tau in configs or FIG10_CONFIGS:
+        sol = extra_rounds_solution(t_p, t_pp, tau, max_rounds=100)
+        out.append(
+            {
+                "t_p": t_p,
+                "t_pp": t_pp,
+                "tau": tau,
+                "extra_rounds": None if sol is None else sol.extra_rounds_p,
+            }
+        )
+    return out
+
+
+def fig11_hybrid_heatmap(
+    eps_values=(100, 400),
+    t_p: int = 1000,
+    t_pp_values=range(1000, 1650, 25),
+    tau_values=range(100, 1450, 50),
+    max_rounds: int = 5,
+):
+    """(tau, T_P') -> extra rounds z for the Hybrid policy; None = no solution."""
+    out = {}
+    for eps in eps_values:
+        grid = {}
+        for t_pp in t_pp_values:
+            for tau in tau_values:
+                if t_pp == t_p:
+                    grid[(tau, t_pp)] = None
+                    continue
+                sol = hybrid_solution(t_p, t_pp, tau, eps, max_rounds=max_rounds)
+                grid[(tau, t_pp)] = None if sol is None else sol.extra_rounds_p
+        out[eps] = grid
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 / Fig. 15 / Table 1 / Table 4: Active vs Passive LER sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PolicySweepPoint:
+    """LER of one (distance, tau, policy) configuration."""
+
+    distance: int
+    tau_ns: float
+    policy: str
+    shots: int
+    estimates: list[RateEstimate]
+    plan: dict = field(default_factory=dict)
+
+
+def sweep_policies(
+    policies,
+    distances,
+    taus_ns,
+    shots: int,
+    *,
+    hardware: HardwareConfig = IBM,
+    ls_basis: str = "Z",
+    t_pp_ns: float | None = None,
+    base_rounds: int | None = None,
+    policy_kwargs: dict | None = None,
+    decoder: str = "unionfind",
+    rng=None,
+) -> list[PolicySweepPoint]:
+    """Run an LER sweep over policies x distances x slacks."""
+    rng = resolve_rng(rng)
+    out = []
+    for d in distances:
+        for tau in taus_ns:
+            for name in policies:
+                kwargs = (policy_kwargs or {}).get(name, {})
+                policy = make_policy(name, **kwargs)
+                config = SurgeryLerConfig(
+                    distance=d,
+                    hardware=hardware,
+                    policy_name=name,
+                    tau_ns=float(tau),
+                    ls_basis=ls_basis,
+                    t_pp_ns=t_pp_ns,
+                    base_rounds=base_rounds,
+                    policy_args=tuple(sorted(kwargs.items())),
+                )
+                try:
+                    res = run_surgery_ler(config, policy, shots, rng, decoder=decoder)
+                except PolicyNotApplicableError:
+                    continue
+                out.append(
+                    PolicySweepPoint(
+                        distance=d,
+                        tau_ns=float(tau),
+                        policy=name,
+                        shots=shots,
+                        estimates=res.estimates,
+                        plan=res.plan_summary,
+                    )
+                )
+    return out
+
+
+def fig14_active_vs_passive(
+    distances=(3, 5, 7),
+    taus_ns=(500.0, 1000.0),
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = IBM,
+    ls_basis: str = "Z",
+    rng=None,
+):
+    """Reduction in LER (Passive/Active) per distance, slack, observable."""
+    points = sweep_policies(
+        ("passive", "active"), distances, taus_ns, shots,
+        hardware=hardware, ls_basis=ls_basis, rng=rng,
+    )
+    by_key = {(p.distance, p.tau_ns, p.policy): p for p in points}
+    rows = []
+    for d in distances:
+        for tau in taus_ns:
+            passive = by_key[(d, float(tau), "passive")]
+            active = by_key[(d, float(tau), "active")]
+            for obs_index, obs_name in ((1, "joint"), (0, "single")):
+                num = passive.estimates[obs_index]
+                den = active.estimates[obs_index]
+                rows.append(
+                    {
+                        "distance": d,
+                        "tau_ns": float(tau),
+                        "observable": obs_name,
+                        "ler_passive": num.rate,
+                        "ler_active": den.rate,
+                        "reduction": (num.rate / den.rate) if den.rate else float("inf"),
+                    }
+                )
+    return rows
+
+
+def fig15_cost_of_synchronization(
+    distances=(3, 5, 7),
+    tau_ns: float = 1000.0,
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = GOOGLE,
+    rng=None,
+):
+    """LER of ideal vs Active vs Passive systems (Z-basis LS)."""
+    points = sweep_policies(
+        ("ideal", "active", "passive"), distances, (tau_ns,), shots,
+        hardware=hardware, rng=rng,
+    )
+    rows = []
+    for p in points:
+        rows.append(
+            {
+                "distance": p.distance,
+                "policy": p.policy,
+                "ler_joint": p.estimates[1].rate,
+                "ler_single": p.estimates[0].rate,
+            }
+        )
+    return rows
+
+
+def table1_error_counts(
+    distances=(3, 5, 7),
+    slacks_ns=(500.0, 1000.0),
+    shots: int = 100_000,
+    *,
+    hardware: HardwareConfig = TABLE1_HARDWARE,
+    rng=None,
+):
+    """Logical-error counts, Passive vs Active (Table 1 at reduced scale)."""
+    points = sweep_policies(
+        ("passive", "active"), distances, slacks_ns, shots, hardware=hardware, rng=rng
+    )
+    rows = {}
+    for p in points:
+        rows[(p.policy, p.distance, p.tau_ns)] = p.estimates[1].successes
+    table = []
+    for tau in slacks_ns:
+        for d in distances:
+            passive = rows[("passive", d, float(tau))]
+            active = rows[("active", d, float(tau))]
+            reduction = 100.0 * (passive - active) / passive if passive else 0.0
+            table.append(
+                {
+                    "distance": d,
+                    "slack_ns": float(tau),
+                    "errors_passive": passive,
+                    "errors_active": active,
+                    "pct_reduction": reduction,
+                }
+            )
+    return table
+
+
+def table4_mean_reductions(
+    distances=(5, 7),
+    tau_ns: float = 1000.0,
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig | None = None,
+    t_pp_values_ns=(1050.0, 1100.0, 1150.0),
+    eps_ns: float = 400.0,
+    rng=None,
+):
+    """Mean LER reduction of Active / Extra Rounds / Hybrid vs Passive.
+
+    Uses the paper's Fig. 19 / Table 4 cycle configuration: T_P = 1000 ns and
+    T_P' representing 1/2/3 extra CNOT layers (1050/1100/1150 ns), on
+    Google-like coherence times.
+    """
+    rng = resolve_rng(rng)
+    hardware = hardware or GOOGLE.with_cycle_time(1000.0)
+    rows = []
+    for d in distances:
+        reductions: dict[str, list[float]] = {"active": [], "extra_rounds": [], "hybrid": []}
+        for t_pp in t_pp_values_ns:
+            points = sweep_policies(
+                ("passive", "active", "extra_rounds", "hybrid"),
+                (d,),
+                (tau_ns,),
+                shots,
+                hardware=hardware,
+                t_pp_ns=t_pp,
+                policy_kwargs={
+                    "hybrid": {"eps_ns": eps_ns, "max_rounds": 100},
+                    "extra_rounds": {"max_rounds": 100},
+                },
+                rng=rng,
+            )
+            by_policy = {p.policy: p for p in points}
+            passive = by_policy["passive"].estimates[1].rate
+            for name in reductions:
+                if name in by_policy and by_policy[name].estimates[1].rate > 0:
+                    reductions[name].append(passive / by_policy[name].estimates[1].rate)
+        rows.append(
+            {
+                "distance": d,
+                **{name: float(np.mean(v)) if v else None for name, v in reductions.items()},
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16: workload-level LER increase
+# ---------------------------------------------------------------------------
+
+
+def fig16_workload_ler_increase(
+    distance: int = 5,
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = GOOGLE,
+    rng=None,
+):
+    """Relative program-LER increase per workload for Passive/Active."""
+    rng = resolve_rng(rng)
+    points = sweep_policies(
+        ("ideal", "active", "passive"), (distance,), (500.0, 1000.0), shots,
+        hardware=hardware, rng=rng,
+    )
+    by_key = {(p.policy, p.tau_ns): p.estimates[1].rate for p in points}
+    ideal = max(by_key[("ideal", 500.0)], 1e-9)
+    table = syncs_per_cycle_table()
+    rows = []
+    for est in table:
+        spc = est.syncs_per_cycle
+        rows.append(
+            {
+                "workload": est.name,
+                "syncs_per_cycle": spc,
+                "passive_tau1000": program_ler_increase(spc, by_key[("passive", 1000.0)], ideal),
+                "passive_tau500": program_ler_increase(spc, by_key[("passive", 500.0)], ideal),
+                "active": program_ler_increase(spc, by_key[("active", 1000.0)], ideal),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 / Fig. 18: Active-intra and additional-rounds studies
+# ---------------------------------------------------------------------------
+
+
+def fig17_active_intra(
+    distances=(3, 5, 7),
+    taus_ns=(500.0, 1000.0),
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = IBM,
+    rng=None,
+):
+    """Reduction of Active-intra vs Passive (can dip below 1)."""
+    points = sweep_policies(
+        ("passive", "active_intra"), distances, taus_ns, shots, hardware=hardware, rng=rng
+    )
+    by_key = {(p.distance, p.tau_ns, p.policy): p for p in points}
+    rows = []
+    for d in distances:
+        for tau in taus_ns:
+            passive = by_key[(d, float(tau), "passive")].estimates[1]
+            intra = by_key[(d, float(tau), "active_intra")].estimates[1]
+            rows.append(
+                {
+                    "distance": d,
+                    "tau_ns": float(tau),
+                    "reduction": (passive.rate / intra.rate) if intra.rate else float("inf"),
+                }
+            )
+    return rows
+
+
+def fig18_additional_rounds(
+    distance: int = 5,
+    extra_rounds=(0, 2, 4, 6),
+    tau_ns: float = 1000.0,
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig = IBM,
+    rng=None,
+):
+    """(a) Active benefit when slack spreads over d+1+R rounds;
+    (b) LER growth with rounds in the absence of any slack."""
+    rng = resolve_rng(rng)
+    reduction_rows = []
+    ler_rows = []
+    for r in extra_rounds:
+        base = distance + 1 + r
+        points = sweep_policies(
+            ("passive", "active", "ideal"), (distance,), (tau_ns,), shots,
+            hardware=hardware, base_rounds=base, rng=rng,
+        )
+        by_policy = {p.policy: p for p in points}
+        passive = by_policy["passive"].estimates[1].rate
+        active = by_policy["active"].estimates[1].rate
+        reduction_rows.append(
+            {
+                "extra_rounds": r,
+                "reduction": (passive / active) if active else float("inf"),
+            }
+        )
+        ler_rows.append({"extra_rounds": r, "ler_no_slack": by_policy["ideal"].estimates[1].rate})
+    return {"reduction_vs_rounds": reduction_rows, "ler_vs_rounds": ler_rows}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19: policy comparison with unequal cycle times
+# ---------------------------------------------------------------------------
+
+
+def fig19_policy_comparison(
+    distance: int = 5,
+    taus_ns=(500.0, 1000.0),
+    eps_values_ns=(100.0, 200.0, 300.0, 400.0),
+    shots: int = 20_000,
+    *,
+    hardware: HardwareConfig | None = None,
+    t_pp_values_ns=(1050.0, 1100.0, 1150.0),
+    rng=None,
+):
+    """LER reduction vs Passive for Active / Extra Rounds / Hybrid(eps).
+
+    Paper configuration: T_P = 1000 ns, T_P' in {1050, 1100, 1150} ns (one to
+    three extra CNOT layers), averaged over the cycle-time combinations.
+    """
+    rng = resolve_rng(rng)
+    hardware = hardware or GOOGLE.with_cycle_time(1000.0)
+    accum: dict[tuple[str, float], list[float]] = {}
+    for t_pp in t_pp_values_ns:
+        for tau in taus_ns:
+            policies = ["passive", "active", "extra_rounds"] + [
+                f"hybrid@{eps}" for eps in eps_values_ns
+            ]
+            results = {}
+            for label in policies:
+                if label.startswith("hybrid@"):
+                    eps = float(label.split("@")[1])
+                    name, kwargs = "hybrid", {"eps_ns": eps, "max_rounds": 100}
+                else:
+                    name, kwargs = label, {}
+                pts = sweep_policies(
+                    (name,), (distance,), (tau,), shots,
+                    hardware=hardware, t_pp_ns=t_pp,
+                    policy_kwargs={name: kwargs}, rng=rng,
+                )
+                if pts:
+                    results[label] = pts[0].estimates[1].rate
+            passive = results.get("passive")
+            if not passive:
+                continue
+            for label, ler in results.items():
+                if label == "passive" or ler <= 0:
+                    continue
+                accum.setdefault((label, tau), []).append(passive / ler)
+    rows = []
+    for (label, tau), vals in sorted(accum.items()):
+        rows.append({"policy": label, "tau_ns": tau, "reduction": float(np.mean(vals))})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20: synchronization-engine scaling
+# ---------------------------------------------------------------------------
+
+
+def fig20_engine_scaling(
+    patch_counts=(2, 5, 10, 20, 30, 40, 50),
+    repeats: int = 200,
+    rng=None,
+):
+    """CPU time of k-patch synchronization planning + workload CNOT widths."""
+    rng = resolve_rng(rng)
+    timing_rows = []
+    for k in patch_counts:
+        patches = [
+            PatchState(
+                patch_id=i,
+                cycle_ns=int(rng.choice([1000, 1050, 1100, 1150])),
+                elapsed_ns=int(rng.integers(0, 1000)),
+            )
+            for i in range(k)
+        ]
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            plan_k_patch_sync(patches, policy="hybrid")
+        elapsed = (time.perf_counter() - t0) / repeats
+        timing_rows.append({"patches": k, "cpu_time_s": elapsed})
+    cnot_rows = [
+        {"workload": name, "max_concurrent_cnots": max_concurrent_cnots(build_workload(name))}
+        for name in sorted(PAPER_WORKLOADS)
+    ]
+    return {"timing": timing_rows, "max_concurrent_cnots": cnot_rows}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 21 / Table 5: neutral atoms
+# ---------------------------------------------------------------------------
+
+
+def fig21_neutral_atom(
+    distance: int = 3,
+    taus_ms=(0.2, 0.6, 1.0, 1.6, 2.0),
+    shots: int = 20_000,
+    *,
+    t_pp_ms: float = 2.2,
+    rng=None,
+):
+    """Reduction vs Passive on a QuEra-like system (Active, Hybrid eps)."""
+    rng = resolve_rng(rng)
+    hw = QUERA.with_cycle_time(2.0e6)
+    t_pp = t_pp_ms * 1e6
+    rows = []
+    for tau_ms in taus_ms:
+        tau = tau_ms * 1e6
+        pts = sweep_policies(
+            ("passive", "active", "hybrid"), (distance,), (tau,), shots,
+            hardware=hw, t_pp_ns=t_pp,
+            policy_kwargs={"hybrid": {"eps_ns": 0.4e6, "max_rounds": 100}},
+            rng=rng,
+        )
+        by_policy = {p.policy: p for p in pts}
+        passive = by_policy["passive"].estimates[1].rate
+        for name in ("active", "hybrid"):
+            if name not in by_policy:
+                continue
+            ler = by_policy[name].estimates[1].rate
+            rows.append(
+                {
+                    "tau_ms": tau_ms,
+                    "policy": name,
+                    "reduction": (passive / ler) if ler else float("inf"),
+                    "extra_rounds": by_policy[name].plan.get("extra_rounds_p", 0),
+                }
+            )
+    return rows
+
+
+def table5_neutral_atom_rounds(
+    taus_ms=(0.2, 0.6, 1.0, 1.6, 2.0),
+    eps_values_ms=(0.1, 0.4),
+    t_p_ms: float = 2.0,
+    t_pp_values_ms=(2.2, 2.4, 2.6),
+):
+    """Hybrid extra rounds needed on neutral atoms (averaged over T_P')."""
+    rows = []
+    for eps_ms in eps_values_ms:
+        for tau_ms in taus_ms:
+            zs = []
+            for t_pp_ms in t_pp_values_ms:
+                sol = hybrid_solution(
+                    int(t_p_ms * 1e6),
+                    int(t_pp_ms * 1e6),
+                    int(tau_ms * 1e6),
+                    int(eps_ms * 1e6),
+                    max_rounds=1000,
+                )
+                if sol is not None:
+                    zs.append(sol.extra_rounds_p)
+            rows.append(
+                {
+                    "eps_ms": eps_ms,
+                    "tau_ms": tau_ms,
+                    "mean_extra_rounds": float(np.mean(zs)) if zs else None,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Fig. 22: hierarchical-decoder speedup
+# ---------------------------------------------------------------------------
+
+#: LUT size budgets per code distance (paper Sec. 7.5)
+LUT_SIZES = {3: 3 * 1024, 5: 3 * 1024 * 1024, 7: 30 * 1024 * 1024}
+
+
+def fig22_decoder_speedup(
+    distances=(3, 5),
+    tau_ns: float = 1000.0,
+    shots: int = 5_000,
+    *,
+    hardware: HardwareConfig = GOOGLE,
+    hit_latency_ns: float = 20.0,
+    rng=None,
+):
+    """Decode-latency speedup of Active over Passive with a LUT+MWPM stack.
+
+    The fast level serves one lookup per syndrome round (LILLIPUT-style): a
+    round whose detector weight is within the LUT's enumeration depth —
+    ``floor((d+1)/2)``, the design point the paper's 3KB/3MB/30MB budgets
+    correspond to — costs ``hit_latency_ns``; heavier rounds invoke the
+    matching decoder, whose latency is sampled from wall-clock measurements
+    of our own MWPM implementation.  Passive synchronization concentrates the
+    slack's errors into the merge round (the Fig. 7 spike), which is exactly
+    the round that then overflows the LUT.
+    """
+    rng = resolve_rng(rng)
+    rows = []
+    for d in distances:
+        threshold = (d + 1) // 2
+        stats = {}
+        miss_latency_ns = None  # one shared dataset for both policies
+        for policy_name in ("passive", "active"):
+            config = SurgeryLerConfig(
+                distance=d, hardware=hardware, policy_name=policy_name, tau_ns=tau_ns
+            )
+            pipe = prepared_pipeline(config, make_policy(policy_name))
+            det, _ = pipe.sampler.sample(shots, rng)
+            if miss_latency_ns is None:
+                mwpm = MWPMDecoder(pipe.graph)
+                samples = measure_decoder_latencies(mwpm, det, max_samples=200)
+                miss_latency_ns = float(np.mean(samples))
+            hits = 0
+            requests = 0
+            for _, indices in sorted(pipe.artifacts.detectors_by_round.items()):
+                weights = det[:, indices].sum(axis=1)
+                hits += int((weights <= threshold).sum())
+                requests += weights.size
+            misses = requests - hits
+            stats[policy_name] = {
+                "hit_rate": hits / requests,
+                "mean_latency_ns": (hits * hit_latency_ns + misses * miss_latency_ns)
+                / shots,
+            }
+        rows.append(
+            {
+                "distance": d,
+                "hit_rate_passive": stats["passive"]["hit_rate"],
+                "hit_rate_active": stats["active"]["hit_rate"],
+                "speedup": (
+                    stats["passive"]["mean_latency_ns"] / stats["active"]["mean_latency_ns"]
+                    if stats["active"]["mean_latency_ns"]
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def _surgery_decode_windows(pipe, per_patch: int) -> list[list[int]]:
+    """Decode windows of one surgery experiment: P's pre-merge rounds, P''s
+    pre-merge rounds, and the merged-patch phase (each one logical operation
+    of syndrome data).  Pre-merge round detector lists hold P's checks first,
+    then P''s."""
+    rp = pipe.plan.timeline_p.num_rounds
+    rpp = pipe.plan.timeline_pp.num_rounds
+    by_round = pipe.artifacts.detectors_by_round
+    w_p: list[int] = []
+    w_pp: list[int] = []
+    w_merged: list[int] = []
+    for label, indices in sorted(by_round.items()):
+        if label < max(rp, rpp):
+            if label < rp:
+                w_p.extend(indices[:per_patch])
+                w_pp.extend(indices[per_patch:])
+            else:
+                w_pp.extend(indices)
+        else:
+            w_merged.extend(indices)
+    return [w for w in (w_p, w_pp, w_merged) if w]
+
+
+# ---------------------------------------------------------------------------
+# Table 2: the worked policy-comparison configuration
+# ---------------------------------------------------------------------------
+
+
+def table2_policy_configuration(
+    shots: int = 100_000,
+    *,
+    distance: int = 5,
+    rng=None,
+):
+    """Idling period / extra rounds / LER for the Table 2 configuration.
+
+    T_P = 1000 ns, T_P' = 1325 ns, tau = 1000 ns, eps = 400 ns (the paper
+    uses d = 7 and 20M shots; distance and shots scale down here).
+    """
+    rng = resolve_rng(rng)
+    hw = GOOGLE.with_cycle_time(1000.0)
+    rows = []
+    for name, kwargs in (
+        ("active", {}),
+        ("extra_rounds", {"max_rounds": 100}),
+        ("hybrid", {"eps_ns": 400.0, "max_rounds": 100}),
+    ):
+        pts = sweep_policies(
+            (name,), (distance,), (1000.0,), shots,
+            hardware=hw, t_pp_ns=1325.0, policy_kwargs={name: kwargs}, rng=rng,
+        )
+        p = pts[0]
+        rows.append(
+            {
+                "policy": name,
+                "idle_ns": p.plan["idle_ns"],
+                "extra_rounds": p.plan["extra_rounds_p"],
+                "ler": p.estimates[1].rate,
+            }
+        )
+    return rows

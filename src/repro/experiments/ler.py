@@ -1,0 +1,156 @@
+"""End-to-end logical-error-rate experiments.
+
+Glues the stack together: synchronization policy -> idle timelines ->
+lattice-surgery circuit -> detector error model -> sampling -> decoding ->
+LER per observable.  Detector error models and decoders are cached per
+configuration, so sweeps pay the circuit-analysis cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import resolve_rng
+from ..codes.surgery import SurgerySpec, surgery_experiment
+from ..core.policies import SyncScenario, _BasePolicy
+from ..decoders.graph import MatchingGraph, build_matching_graph
+from ..decoders.mwpm import MWPMDecoder
+from ..decoders.unionfind import UnionFindDecoder
+from ..noise.hardware import HardwareConfig
+from ..noise.models import NoiseModel
+from ..stab.dem import circuit_to_dem
+from ..stab.sampler import DemSampler
+from .stats import RateEstimate
+
+__all__ = ["SurgeryLerConfig", "LerResult", "run_surgery_ler", "prepared_pipeline"]
+
+#: process-wide cache of analyzed configurations
+_PIPELINE_CACHE: dict = {}
+
+
+@dataclass(frozen=True)
+class SurgeryLerConfig:
+    """One point in a synchronization-policy LER sweep."""
+
+    distance: int
+    hardware: HardwareConfig
+    policy_name: str
+    tau_ns: float
+    ls_basis: str = "Z"
+    #: lagging patch cycle time; None means equal cycles (T_P' = T_P)
+    t_pp_ns: float | None = None
+    p: float = 1e-3
+    #: pre-merge rounds; None means d+1
+    base_rounds: int | None = None
+    #: extra policy constructor arguments (eps_ns, placement, ...)
+    policy_args: tuple = ()
+    include_seam_detector: bool = False
+
+    def resolved_base_rounds(self) -> int:
+        """Pre-merge rounds (defaults to d+1)."""
+        return self.distance + 1 if self.base_rounds is None else self.base_rounds
+
+
+@dataclass
+class LerResult:
+    """Per-observable logical error rates for one configuration."""
+
+    config: SurgeryLerConfig
+    shots: int
+    estimates: list[RateEstimate]
+    plan_summary: dict = field(default_factory=dict)
+
+    @property
+    def ler(self) -> list[float]:
+        return [e.rate for e in self.estimates]
+
+    def observable(self, index: int) -> RateEstimate:
+        """The RateEstimate of one observable index."""
+        return self.estimates[index]
+
+
+class _Pipeline:
+    """Cached circuit analysis: matching graph + sampler + decoder."""
+
+    def __init__(self, config: SurgeryLerConfig, policy: _BasePolicy):
+        noise = NoiseModel(hardware=config.hardware, p=config.p)
+        scenario = SyncScenario(
+            t_p_ns=config.hardware.cycle_time_ns,
+            t_pp_ns=(
+                config.t_pp_ns if config.t_pp_ns is not None else config.hardware.cycle_time_ns
+            ),
+            tau_ns=config.tau_ns,
+            base_rounds=config.resolved_base_rounds(),
+        )
+        self.plan = policy.plan(scenario)
+        spec = SurgerySpec(
+            distance=config.distance,
+            noise=noise,
+            ls_basis=config.ls_basis,
+            rounds_pre=None,  # timelines encode the per-patch round counts
+            timeline_p=self.plan.timeline_p,
+            timeline_pp=self.plan.timeline_pp,
+            include_seam_detector=config.include_seam_detector,
+        )
+        self.artifacts = surgery_experiment(spec)
+        self.dem = circuit_to_dem(self.artifacts.circuit)
+        basis = self.artifacts.detector_basis
+        self.graph: MatchingGraph = build_matching_graph(self.dem, basis=basis)
+        self.sampler = DemSampler(self.dem)
+        self._detector_mask = np.array(
+            [b == basis for b in self.dem.detector_basis], dtype=bool
+        )
+        self._decoders: dict[str, object] = {}
+
+    def decoder(self, name: str):
+        if name not in self._decoders:
+            if name == "unionfind":
+                self._decoders[name] = UnionFindDecoder(self.graph)
+            elif name == "mwpm":
+                self._decoders[name] = MWPMDecoder(self.graph)
+            else:
+                raise ValueError(f"unknown decoder {name!r}")
+        return self._decoders[name]
+
+    def plan_summary(self) -> dict:
+        return {
+            "policy": self.plan.policy,
+            "extra_rounds_p": self.plan.extra_rounds_p,
+            "extra_rounds_pp": self.plan.extra_rounds_pp,
+            "idle_ns": self.plan.idle_ns,
+            "rounds_p": self.plan.timeline_p.num_rounds,
+            "rounds_pp": self.plan.timeline_pp.num_rounds,
+        }
+
+
+def prepared_pipeline(config: SurgeryLerConfig, policy: _BasePolicy) -> _Pipeline:
+    """Build (or fetch) the analyzed pipeline for ``config``."""
+    key = (config, type(policy).__name__, repr(vars(policy)))
+    if key not in _PIPELINE_CACHE:
+        _PIPELINE_CACHE[key] = _Pipeline(config, policy)
+    return _PIPELINE_CACHE[key]
+
+
+def run_surgery_ler(
+    config: SurgeryLerConfig,
+    policy: _BasePolicy,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    decoder: str = "unionfind",
+    batch_size: int = 65536,
+) -> LerResult:
+    """Sample and decode ``shots`` shots of one configuration."""
+    rng = resolve_rng(rng)
+    pipe = prepared_pipeline(config, policy)
+    det, obs = pipe.sampler.sample(shots, rng, batch_size=batch_size)
+    det = det[:, pipe._detector_mask] if det.shape[1] != pipe.graph.num_detectors else det
+    predictions = pipe.decoder(decoder).decode_batch(det)
+    nobs = obs.shape[1]
+    failures = (predictions[:, :nobs] ^ obs).sum(axis=0)
+    estimates = [RateEstimate(int(failures[k]), shots) for k in range(nobs)]
+    return LerResult(
+        config=config, shots=shots, estimates=estimates, plan_summary=pipe.plan_summary()
+    )

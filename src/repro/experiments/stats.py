@@ -1,0 +1,46 @@
+"""Statistics helpers for logical-error-rate experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["wilson_interval", "RateEstimate", "ratio_of_rates"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+
+    @property
+    def rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        lo, hi = self.interval
+        return f"RateEstimate({self.rate:.3e} [{lo:.2e}, {hi:.2e}], n={self.trials})"
+
+
+def ratio_of_rates(numerator: RateEstimate, denominator: RateEstimate) -> float:
+    """Point estimate of a rate ratio (paper's 'Reduction'); inf-safe."""
+    if denominator.rate == 0.0:
+        return math.inf if numerator.rate > 0 else 1.0
+    return numerator.rate / denominator.rate

@@ -1,0 +1,282 @@
+"""Detector error model (DEM) extraction.
+
+A DEM is the list of independent error mechanisms of a noisy stabilizer
+circuit, each with a probability, the set of detectors it flips, and the set
+of logical observables it flips.  It is the interface between circuits and
+decoders, exactly as in Stim.
+
+Extraction strategy: every Pauli component of every noise channel is treated
+as one column of a wide Pauli-frame propagation batch.  Component *k* is
+injected right before its own instruction executes; all later gates act on
+every column.  The measurement flips of column *k* then give that component's
+detector/observable signature deterministically.  Components with identical
+signatures are merged with XOR-probability combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import combine_flip_probabilities
+from .circuit import Circuit
+from .frame import compile_instruction
+from .gates import GateKind, TWO_QUBIT_PAULIS
+
+__all__ = ["DemError", "DetectorErrorModel", "circuit_to_dem"]
+
+
+@dataclass(frozen=True)
+class DemError:
+    """One independent error mechanism."""
+
+    probability: float
+    detectors: tuple[int, ...]
+    observables: tuple[int, ...]
+
+
+@dataclass
+class DetectorErrorModel:
+    """Full error model of one circuit."""
+
+    errors: list[DemError]
+    num_detectors: int
+    num_observables: int
+    detector_coords: list[tuple[float, ...]]
+    detector_basis: list[str | None]
+
+    def filtered(self, basis: str) -> "DetectorErrorModel":
+        """Restrict to detectors tagged with ``basis`` (indices are remapped).
+
+        Errors whose projected signature is empty *and* which flip no
+        observable are dropped; others keep their observable flips.
+        """
+        keep = [i for i, b in enumerate(self.detector_basis) if b == basis]
+        remap = {old: new for new, old in enumerate(keep)}
+        merged: dict[tuple[tuple[int, ...], tuple[int, ...]], list[float]] = {}
+        for err in self.errors:
+            dets = tuple(sorted(remap[d] for d in err.detectors if d in remap))
+            if not dets and not err.observables:
+                continue
+            merged.setdefault((dets, err.observables), []).append(err.probability)
+        errors = [
+            DemError(combine_flip_probabilities(ps), dets, obs)
+            for (dets, obs), ps in sorted(merged.items())
+        ]
+        return DetectorErrorModel(
+            errors=errors,
+            num_detectors=len(keep),
+            num_observables=self.num_observables,
+            detector_coords=[self.detector_coords[i] for i in keep],
+            detector_basis=[basis] * len(keep),
+        )
+
+    @property
+    def total_error_probability(self) -> float:
+        return float(sum(e.probability for e in self.errors))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DetectorErrorModel({len(self.errors)} errors, {self.num_detectors} detectors, "
+            f"{self.num_observables} observables)"
+        )
+
+
+def circuit_to_dem(
+    circuit: Circuit,
+    *,
+    chunk_size: int = 32768,
+    min_probability: float = 0.0,
+) -> DetectorErrorModel:
+    """Extract the detector error model of ``circuit``.
+
+    Args:
+        circuit: the noisy circuit.
+        chunk_size: number of error components propagated per pass (memory
+            knob; each pass re-walks the instruction list).
+        min_probability: mechanisms with probability at or below this value
+            are dropped after merging.
+    """
+    components = _enumerate_components(circuit)
+    plan = [compile_instruction(inst) for inst in circuit.instructions]
+    kinds = [inst.gate.kind for inst in circuit.instructions]
+
+    merged: dict[tuple[tuple[int, ...], tuple[int, ...]], list[float]] = {}
+    for start in range(0, len(components), chunk_size):
+        chunk = components[start : start + chunk_size]
+        det_sigs, obs_sigs = _propagate_chunk(circuit, plan, kinds, chunk)
+        for k, comp in enumerate(chunk):
+            key = (det_sigs[k], obs_sigs[k])
+            if key == ((), ()):
+                continue  # invisible error (flips nothing observable)
+            merged.setdefault(key, []).append(comp.probability)
+
+    errors = []
+    for (dets, obs), ps in sorted(merged.items()):
+        p = combine_flip_probabilities(ps)
+        if p > min_probability:
+            errors.append(DemError(p, dets, obs))
+    return DetectorErrorModel(
+        errors=errors,
+        num_detectors=circuit.num_detectors,
+        num_observables=circuit.num_observables,
+        detector_coords=[info.coords for info in circuit.detectors],
+        detector_basis=[info.basis for info in circuit.detectors],
+    )
+
+
+@dataclass(frozen=True)
+class _Component:
+    """One Pauli case of one noise-channel application."""
+
+    inst_index: int
+    qubits: tuple[int, ...]
+    xflips: tuple[bool, ...]
+    zflips: tuple[bool, ...]
+    probability: float
+
+
+def _enumerate_components(circuit: Circuit) -> list[_Component]:
+    comps: list[_Component] = []
+    for pos, inst in enumerate(circuit.instructions):
+        kind = inst.gate.kind
+        if kind == GateKind.NOISE_1:
+            for q in inst.targets:
+                comps.extend(_one_qubit_cases(pos, q, inst))
+        elif kind == GateKind.NOISE_2:
+            p15 = inst.args[0] / 15.0
+            for i in range(0, len(inst.targets), 2):
+                a, b = inst.targets[i], inst.targets[i + 1]
+                for (x1, z1), (x2, z2) in TWO_QUBIT_PAULIS:
+                    comps.append(_Component(pos, (a, b), (x1, x2), (z1, z2), p15))
+    return comps
+
+
+def _one_qubit_cases(pos: int, q: int, inst) -> list[_Component]:
+    name = inst.name
+    if name == "X_ERROR":
+        return [_Component(pos, (q,), (True,), (False,), inst.args[0])]
+    if name == "Z_ERROR":
+        return [_Component(pos, (q,), (False,), (True,), inst.args[0])]
+    if name == "Y_ERROR":
+        return [_Component(pos, (q,), (True,), (True,), inst.args[0])]
+    if name == "DEPOLARIZE1":
+        p3 = inst.args[0] / 3.0
+        return [
+            _Component(pos, (q,), (True,), (False,), p3),
+            _Component(pos, (q,), (True,), (True,), p3),
+            _Component(pos, (q,), (False,), (True,), p3),
+        ]
+    if name == "PAULI_CHANNEL_1":
+        px, py, pz = inst.args
+        out = []
+        if px > 0:
+            out.append(_Component(pos, (q,), (True,), (False,), px))
+        if py > 0:
+            out.append(_Component(pos, (q,), (True,), (True,), py))
+        if pz > 0:
+            out.append(_Component(pos, (q,), (False,), (True,), pz))
+        return out
+    raise ValueError(f"unhandled noise channel {name}")  # pragma: no cover
+
+
+def _propagate_chunk(circuit: Circuit, plan, kinds, chunk):
+    """Propagate one chunk of components; returns per-component signatures."""
+    width = len(chunk)
+    nq = circuit.num_qubits
+    x = np.zeros((nq, width), dtype=bool)
+    z = np.zeros((nq, width), dtype=bool)
+    ndet = circuit.num_detectors
+    nobs = circuit.num_observables
+    det = np.zeros((ndet, width), dtype=bool)
+    obs = np.zeros((nobs, width), dtype=bool)
+
+    # group component injections by instruction index
+    inject: dict[int, list[int]] = {}
+    for k, comp in enumerate(chunk):
+        inject.setdefault(comp.inst_index, []).append(k)
+
+    # measurement -> (detector rows, observable rows) fanout
+    det_fanout: dict[int, list[int]] = {}
+    for j, info in enumerate(circuit.detectors):
+        for r in info.rec:
+            det_fanout.setdefault(r, []).append(j)
+    obs_fanout: dict[int, list[int]] = {}
+    for inst in circuit.instructions:
+        if inst.name == "OBSERVABLE_INCLUDE":
+            for r in inst.rec:
+                obs_fanout.setdefault(r, []).append(inst.obs_index)
+
+    cursor = 0
+    for pos, ops in enumerate(plan):
+        for k in inject.get(pos, ()):
+            comp = chunk[k]
+            for q, xf, zf in zip(comp.qubits, comp.xflips, comp.zflips):
+                if xf:
+                    x[q, k] ^= True
+                if zf:
+                    z[q, k] ^= True
+        for op in ops:
+            kind = op.kind
+            if kind in (
+                "skip",
+                "x_error",
+                "z_error",
+                "y_error",
+                "depolarize1",
+                "depolarize2",
+                "pauli_channel_1",
+            ):
+                continue
+            if kind == "cx":
+                x[op.b] ^= x[op.a]
+                z[op.a] ^= z[op.b]
+            elif kind in ("m", "mx", "mr"):
+                src = z if kind == "mx" else x
+                for i, q in enumerate(op.a):
+                    rec = cursor + i
+                    flips = src[q]
+                    for d in det_fanout.get(rec, ()):
+                        det[d] ^= flips
+                    for o in obs_fanout.get(rec, ()):
+                        obs[o] ^= flips
+                cursor += op.a.size
+                if kind == "mr":
+                    x[op.a] = False
+                    z[op.a] = False
+            elif kind == "r":
+                x[op.a] = False
+                z[op.a] = False
+            elif kind == "h":
+                tmp = x[op.a].copy()
+                x[op.a] = z[op.a]
+                z[op.a] = tmp
+            elif kind == "s":
+                z[op.a] ^= x[op.a]
+            elif kind == "sqrt_x":
+                x[op.a] ^= z[op.a]
+            elif kind == "cz":
+                z[op.b] ^= x[op.a]
+                z[op.a] ^= x[op.b]
+            elif kind == "swap":
+                for arr in (x, z):
+                    tmp = arr[op.a].copy()
+                    arr[op.a] = arr[op.b]
+                    arr[op.b] = tmp
+            else:  # pragma: no cover
+                raise AssertionError(f"unhandled kind {kind}")
+
+    det_sigs = _columns_to_tuples(det)
+    obs_sigs = _columns_to_tuples(obs)
+    return det_sigs, obs_sigs
+
+
+def _columns_to_tuples(mat: np.ndarray) -> list[tuple[int, ...]]:
+    if mat.shape[0] == 0:
+        return [()] * mat.shape[1]
+    rows, cols = np.nonzero(mat)
+    out: list[list[int]] = [[] for _ in range(mat.shape[1])]
+    for r, c in zip(rows.tolist(), cols.tolist()):
+        out[c].append(r)
+    return [tuple(v) for v in out]

@@ -1,0 +1,128 @@
+"""Fast Monte-Carlo sampling directly from a detector error model.
+
+Given a :class:`DetectorErrorModel` this module samples detector/observable
+outcome bits for many shots via sparse GF(2) linear algebra:
+
+    shots x errors (Bernoulli sample)  @  errors x detectors  (mod 2)
+
+The per-error Bernoulli draw is *exact* without materializing a dense
+(shots x errors) mask: for error probability ``p`` we throw
+``Poisson(shots * lambda)`` darts uniformly over the shots with
+``lambda = -ln(1 - 2p) / 2`` and keep odd-multiplicity cells.  Each cell's
+dart count is then i.i.d. ``Poisson(lambda)``, whose odd-parity probability
+is exactly ``p``.  Errors with ``p > 1/2`` are folded into a deterministic
+flip plus a residual ``1 - p`` draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .._util import resolve_rng
+from .dem import DetectorErrorModel
+
+__all__ = ["DemSampler"]
+
+
+class DemSampler:
+    """Samples detector and observable data for a fixed error model."""
+
+    def __init__(self, dem: DetectorErrorModel):
+        self.dem = dem
+        self.probabilities = np.array([e.probability for e in dem.errors], dtype=np.float64)
+        self._det_matrix = _signature_matrix(
+            [e.detectors for e in dem.errors], dem.num_detectors
+        )
+        self._obs_matrix = _signature_matrix(
+            [e.observables for e in dem.errors], dem.num_observables
+        )
+        # p > 1/2 folds into a deterministic flip plus a residual (1-p) draw
+        heavy = self.probabilities > 0.5
+        self._det_offset = np.zeros(dem.num_detectors, dtype=bool)
+        self._obs_offset = np.zeros(dem.num_observables, dtype=bool)
+        for i in np.flatnonzero(heavy):
+            for d in dem.errors[i].detectors:
+                self._det_offset[d] ^= True
+            for o in dem.errors[i].observables:
+                self._obs_offset[o] ^= True
+        effective = np.where(heavy, 1.0 - self.probabilities, self.probabilities)
+        effective = np.clip(effective, 0.0, 0.5 - 1e-12)
+        self._rates = -0.5 * np.log1p(-2.0 * effective)
+
+    @property
+    def num_errors(self) -> int:
+        return int(self.probabilities.size)
+
+    def sample(
+        self,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        batch_size: int = 65536,
+        return_errors: bool = False,
+    ):
+        """Sample ``shots`` outcomes.
+
+        Returns ``(detectors, observables)`` boolean arrays of shapes
+        ``(shots, num_detectors)`` / ``(shots, num_observables)``.  With
+        ``return_errors=True`` a third item gives the sampled error matrix
+        as a ``scipy.sparse.csr_matrix``.
+        """
+        rng = resolve_rng(rng)
+        det_parts, obs_parts, err_parts = [], [], []
+        remaining = shots
+        while remaining > 0:
+            batch = min(batch_size, remaining)
+            err = self._sample_error_matrix(batch, rng)
+            det_parts.append(_gf2_product(err, self._det_matrix) ^ self._det_offset)
+            obs_parts.append(_gf2_product(err, self._obs_matrix) ^ self._obs_offset)
+            if return_errors:
+                err_parts.append(err)
+            remaining -= batch
+        det = np.concatenate(det_parts, axis=0)
+        obs = np.concatenate(obs_parts, axis=0)
+        if return_errors:
+            return det, obs, sp.vstack(err_parts).tocsr()
+        return det, obs
+
+    def _sample_error_matrix(self, shots: int, rng: np.random.Generator) -> sp.csr_matrix:
+        """Sparse (shots x errors) GF(2) sample of which error hit which shot."""
+        counts = rng.poisson(shots * self._rates)
+        total = int(counts.sum())
+        if total == 0:
+            return sp.csr_matrix((shots, counts.size), dtype=np.uint8)
+        cols = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+        row_draws = rng.integers(0, shots, size=total, dtype=np.int64)
+        # keep only odd-multiplicity (shot, error) pairs: duplicate darts cancel
+        key = row_draws * counts.size + cols
+        uniq, mult = np.unique(key, return_counts=True)
+        kept = uniq[(mult % 2) == 1]
+        rows = kept // counts.size
+        kept_cols = kept % counts.size
+        data = np.ones(kept.size, dtype=np.uint8)
+        return sp.csr_matrix(
+            (data, (rows, kept_cols)), shape=(shots, counts.size), dtype=np.uint8
+        )
+
+
+def _signature_matrix(signatures, width: int) -> sp.csr_matrix:
+    rows, cols = [], []
+    for i, sig in enumerate(signatures):
+        for s in sig:
+            rows.append(i)
+            cols.append(s)
+    data = np.ones(len(rows), dtype=np.uint8)
+    return sp.csr_matrix((data, (rows, cols)), shape=(len(signatures), width), dtype=np.uint8)
+
+
+def _gf2_product(sample: sp.csr_matrix, signature: sp.csr_matrix) -> np.ndarray:
+    if signature.shape[1] == 0:
+        return np.zeros((sample.shape[0], 0), dtype=bool)
+    prod = sample @ signature  # integer counts
+    out = np.zeros((sample.shape[0], signature.shape[1]), dtype=bool)
+    if prod.nnz:
+        coo = prod.tocoo()
+        odd = (coo.data % 2) == 1
+        out[coo.row[odd], coo.col[odd]] = True
+    return out

@@ -1,0 +1,104 @@
+"""Textual circuit format: parse the dialect :meth:`Circuit.to_text` emits.
+
+A Stim-flavoured line format, enough to round-trip every circuit this
+project generates — useful for golden tests, debugging dumps, and shipping
+circuits between processes:
+
+    R 0 1 2
+    X_ERROR(0.001) 0 1
+    CX 0 3 1 4
+    MR 3 4
+    DETECTOR rec[0] rec[1]
+    OBSERVABLE_INCLUDE 0 rec[2]
+
+Records are absolute indices (``rec[k]``); ``DETECTOR`` accepts optional
+``@coords(x,y,t)`` and ``@basis(X)`` suffixes for metadata round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+from .gates import GATES
+
+__all__ = ["circuit_from_text", "circuit_to_text"]
+
+_REC_RE = re.compile(r"rec\[(\d+)\]")
+_HEAD_RE = re.compile(r"^([A-Z_0-9]+)(?:\(([^)]*)\))?$")
+_COORDS_RE = re.compile(r"@coords\(([^)]*)\)")
+_BASIS_RE = re.compile(r"@basis\((X|Z)\)")
+
+
+def circuit_to_text(circuit: Circuit) -> str:
+    """Serialize with metadata suffixes (superset of ``Circuit.to_text``)."""
+    lines = []
+    for inst in circuit.instructions:
+        head = inst.name
+        if inst.args:
+            head += "(" + ",".join(f"{a:.12g}" for a in inst.args) + ")"
+        parts = [head]
+        if inst.name == "OBSERVABLE_INCLUDE":
+            parts.append(str(inst.obs_index))
+        parts.extend(str(t) for t in inst.targets)
+        parts.extend(f"rec[{r}]" for r in inst.rec)
+        if inst.coords:
+            parts.append("@coords(" + ",".join(f"{c:.12g}" for c in inst.coords) + ")")
+        if inst.basis:
+            parts.append(f"@basis({inst.basis})")
+        lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def circuit_from_text(text: str) -> Circuit:
+    """Parse the textual format back into a :class:`Circuit`."""
+    circuit = Circuit()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        coords = ()
+        basis = None
+        m = _COORDS_RE.search(line)
+        if m:
+            coords = tuple(float(x) for x in m.group(1).split(",") if x.strip())
+            line = _COORDS_RE.sub("", line)
+        m = _BASIS_RE.search(line)
+        if m:
+            basis = m.group(1)
+            line = _BASIS_RE.sub("", line)
+        tokens = line.split()
+        head = _HEAD_RE.match(tokens[0])
+        if not head:
+            raise ValueError(f"line {lineno}: bad instruction head {tokens[0]!r}")
+        name = head.group(1)
+        if name not in GATES:
+            raise ValueError(f"line {lineno}: unknown instruction {name!r}")
+        args = (
+            tuple(float(a) for a in head.group(2).split(",")) if head.group(2) else ()
+        )
+        rest = tokens[1:]
+        obs_index = None
+        if name == "OBSERVABLE_INCLUDE":
+            if not rest:
+                raise ValueError(f"line {lineno}: OBSERVABLE_INCLUDE needs an index")
+            obs_index = int(rest[0])
+            rest = rest[1:]
+        targets: list[int] = []
+        rec: list[int] = []
+        for tok in rest:
+            m = _REC_RE.fullmatch(tok)
+            if m:
+                rec.append(int(m.group(1)))
+            else:
+                targets.append(int(tok))
+        circuit.append(
+            name,
+            targets,
+            args,
+            rec=rec,
+            coords=coords,
+            basis=basis,
+            obs_index=obs_index,
+        )
+    return circuit

@@ -1,0 +1,6 @@
+"""Cycle timing: logical clocks and per-round idle schedules."""
+
+from .clocks import LogicalClock
+from .schedule import PatchTimeline, RoundIdle
+
+__all__ = ["LogicalClock", "PatchTimeline", "RoundIdle"]

@@ -1,0 +1,49 @@
+"""Logical clocks.
+
+Every logical patch completes one syndrome-generation cycle per logical clock
+cycle (Sec. 1 of the paper).  :class:`LogicalClock` models the phase of that
+clock: cycle duration, start offset, and helpers to compute the phase and the
+remaining time to the next cycle boundary — the quantities the
+synchronization engine's phase calculator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LogicalClock"]
+
+
+@dataclass(frozen=True)
+class LogicalClock:
+    """Phase tracking for one patch's syndrome-generation cycle."""
+
+    cycle_ns: float
+    start_ns: float = 0.0
+
+    def phase_at(self, t_ns: float) -> float:
+        """Time elapsed inside the current cycle at global time ``t_ns``."""
+        if t_ns < self.start_ns:
+            raise ValueError("time precedes clock start")
+        return (t_ns - self.start_ns) % self.cycle_ns
+
+    def completed_cycles(self, t_ns: float) -> int:
+        """Number of full syndrome cycles completed so far."""
+        if t_ns < self.start_ns:
+            raise ValueError("time precedes clock start")
+        return int((t_ns - self.start_ns) // self.cycle_ns)
+
+    def time_to_cycle_end(self, t_ns: float) -> float:
+        """Remaining time until this patch finishes its current cycle."""
+        phase = self.phase_at(t_ns)
+        return 0.0 if phase == 0.0 else self.cycle_ns - phase
+
+    def slack_against(self, other: "LogicalClock", t_ns: float) -> float:
+        """Idle this clock must absorb to align cycle boundaries with ``other``.
+
+        Positive when this clock would finish its cycle earlier (it leads) and
+        must wait for ``other``; the result is bounded by ``other.cycle_ns``.
+        """
+        mine = self.time_to_cycle_end(t_ns)
+        theirs = other.time_to_cycle_end(t_ns)
+        return (theirs - mine) % other.cycle_ns

@@ -1,0 +1,75 @@
+"""Round-level idle scheduling primitives.
+
+A synchronization policy is, operationally, a set of idle windows inserted
+into a patch's syndrome-generation timeline.  :class:`RoundIdle` describes
+the idles attached to one round; :class:`PatchTimeline` is the per-patch
+schedule that the circuit generators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..noise.hardware import HardwareConfig
+
+__all__ = ["RoundIdle", "PatchTimeline"]
+
+
+@dataclass(frozen=True)
+class RoundIdle:
+    """Idle windows attached to one syndrome round.
+
+    Attributes:
+        pre_ns: idle inserted before the round starts (all patch qubits).
+        intra_ns: idle distributed across the gate-layer boundaries inside
+            the round (all patch qubits) — used by Active-intra and by the
+            cycle-time extension that emulates slower codes.
+        intra_is_structural: True when ``intra_ns`` models a *permanent*
+            cycle-time extension (a slower code's schedule, DD-calibrated)
+            rather than synchronization slack.
+    """
+
+    pre_ns: float = 0.0
+    intra_ns: float = 0.0
+    intra_is_structural: bool = False
+
+    @property
+    def total_ns(self) -> float:
+        return self.pre_ns + self.intra_ns
+
+
+@dataclass
+class PatchTimeline:
+    """Idle schedule of one logical patch during the pre-merge phase."""
+
+    rounds: list[RoundIdle] = field(default_factory=list)
+    #: one last idle right before lattice surgery (the Passive policy's slack)
+    final_idle_ns: float = 0.0
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_idle_ns(self) -> float:
+        return sum(r.total_ns for r in self.rounds) + self.final_idle_ns
+
+    def wall_time_ns(self, hw: HardwareConfig) -> float:
+        """Total duration of the pre-merge phase on hardware ``hw``."""
+        return self.num_rounds * hw.cycle_time_ns + self.total_idle_ns
+
+    @classmethod
+    def uniform(
+        cls,
+        num_rounds: int,
+        *,
+        pre_ns: float = 0.0,
+        intra_ns: float = 0.0,
+        final_idle_ns: float = 0.0,
+        intra_is_structural: bool = False,
+    ) -> "PatchTimeline":
+        rounds = [
+            RoundIdle(pre_ns=pre_ns, intra_ns=intra_ns, intra_is_structural=intra_is_structural)
+            for _ in range(num_rounds)
+        ]
+        return cls(rounds=rounds, final_idle_ns=final_idle_ns)

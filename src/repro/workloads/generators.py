@@ -1,0 +1,220 @@
+"""Benchmark-circuit generators (the paper's MQTBench workload set).
+
+Synthesizes the six workloads of Fig. 3c / Fig. 16 at the paper's widths —
+``qft-80``, ``qpe-80``, ``ising-98``, ``wstate-118``, ``multiplier-75``,
+``shor-15`` — from first principles, since MQTBench itself is not available
+offline.  Constructions follow the standard textbook circuits MQTBench uses
+(controlled-phase QFT, trotterized transverse-field Ising, linear W-state
+preparation, ripple-carry shift-add multiplier, Beauregard-style Shor).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .ir import LogicalCircuit
+
+__all__ = [
+    "qft",
+    "qpe",
+    "ising",
+    "wstate",
+    "multiplier",
+    "shor",
+    "ghz",
+    "PAPER_WORKLOADS",
+    "build_workload",
+]
+
+
+def qft(n: int, *, with_swaps: bool = True, name: str | None = None) -> LogicalCircuit:
+    """Quantum Fourier transform on ``n`` qubits."""
+    c = LogicalCircuit(n, name or f"qft-{n}")
+    for i in range(n):
+        c.h(i)
+        for j in range(i + 1, n):
+            c.cp(j, i, math.pi / (2 ** (j - i)))
+    if with_swaps:
+        for i in range(n // 2):
+            c.swap(i, n - 1 - i)
+    c.measure_all()
+    return c
+
+
+def qpe(n: int, *, phase: float = 1.0 / 7.0) -> LogicalCircuit:
+    """Quantum phase estimation: ``n-1`` counting qubits + 1 eigenstate qubit."""
+    if n < 2:
+        raise ValueError("qpe needs at least two qubits")
+    counting = n - 1
+    c = LogicalCircuit(n, f"qpe-{n}")
+    target = n - 1
+    c.x(target)  # eigenstate |1> of a phase gate
+    for q in range(counting):
+        c.h(q)
+    for q in range(counting):
+        c.cp(q, target, 2 * math.pi * phase * (2**q))
+    _inverse_qft(c, list(range(counting)))
+    for q in range(counting):
+        c.measure(q)
+    return c
+
+
+def _inverse_qft(c: LogicalCircuit, qubits: list[int]) -> None:
+    n = len(qubits)
+    for i in range(n // 2):
+        c.swap(qubits[i], qubits[n - 1 - i])
+    for i in reversed(range(n)):
+        for j in reversed(range(i + 1, n)):
+            c.cp(qubits[j], qubits[i], -math.pi / (2 ** (j - i)))
+        c.h(qubits[i])
+
+
+def ising(n: int, *, steps: int = 1, dt: float = 0.1, j: float = 1.0, g: float = 1.0) -> LogicalCircuit:
+    """Trotterized transverse-field Ising chain evolution on ``n`` qubits."""
+    c = LogicalCircuit(n, f"ising-{n}")
+    for q in range(n):
+        c.h(q)
+    for _ in range(steps):
+        for q in range(n):
+            c.rx(q, 2 * g * dt)
+        for q in range(n - 1):
+            c.rzz(q, q + 1, 2 * j * dt)
+    c.measure_all()
+    return c
+
+
+def wstate(n: int) -> LogicalCircuit:
+    """W-state preparation via the standard cascade of controlled rotations."""
+    c = LogicalCircuit(n, f"wstate-{n}")
+    c.x(n - 1)
+    for i in range(n - 1, 0, -1):
+        # controlled-RY(theta) from qubit i onto i-1, decomposed into two
+        # single-qubit RYs and two CNOTs
+        theta = 2 * math.acos(math.sqrt(1.0 / (i + 1)))
+        c.ry(i - 1, theta / 2)
+        c.cx(i, i - 1)
+        c.ry(i - 1, -theta / 2)
+        c.cx(i, i - 1)
+        c.cx(i - 1, i)
+    c.measure_all()
+    return c
+
+
+def multiplier(bits: int) -> LogicalCircuit:
+    """Shift-and-add multiplier of two ``bits``-bit registers.
+
+    Register layout: a (bits) | b (bits) | product (2*bits) | carry (1).
+    Each partial product is added with a CCX-based controlled ripple-carry
+    adder (Toffoli-heavy, matching MQTBench's multiplier profile).
+    """
+    if bits < 1:
+        raise ValueError("need at least 1 bit")
+    n = 4 * bits + 1
+    c = LogicalCircuit(n, f"multiplier-{n}")
+    a = list(range(bits))
+    b = list(range(bits, 2 * bits))
+    prod = list(range(2 * bits, 4 * bits))
+    carry = n - 1
+    # prepare non-trivial inputs
+    for q in a + b:
+        c.h(q)
+    for shift, a_bit in enumerate(a):
+        # controlled add of b into prod[shift:shift+bits+1], control a_bit
+        target = prod[shift : shift + bits]
+        for i in range(bits):
+            # partial-product bit: a_bit AND b[i] into a running sum with a
+            # ripple carry through `carry`
+            c.ccx(a_bit, b[i], carry)
+            c.ccx(carry, target[i], prod[min(shift + i + 1, 2 * bits - 1)])
+            c.cx(carry, target[i])
+            c.ccx(a_bit, b[i], carry)  # uncompute the AND
+    c.measure_all()
+    return c
+
+
+def shor(number: int = 15, *, base: int = 7) -> LogicalCircuit:
+    """Beauregard-style order finding for factoring ``number``.
+
+    Uses ``2n`` counting qubits and an ``n+1``-qubit work register
+    (n = bit width of ``number``); each controlled modular multiplication is
+    built from QFT-basis controlled additions, making the circuit rotation-
+    heavy exactly like the MQTBench ``shor`` family.
+    """
+    if number < 3:
+        raise ValueError("number must be at least 3")
+    n = number.bit_length()
+    counting = 2 * n
+    work = n + 1
+    total = counting + work
+    c = LogicalCircuit(total, f"shor-{number}")
+    work_qubits = list(range(counting, total))
+    for q in range(counting):
+        c.h(q)
+    c.x(work_qubits[0])  # |1> in the work register
+    a = base % number
+    for k in range(counting):
+        _controlled_modular_mult(c, control=k, work=work_qubits, mult=a, mod=number)
+        a = (a * a) % number
+    _inverse_qft(c, list(range(counting)))
+    for q in range(counting):
+        c.measure(q)
+    return c
+
+
+def _controlled_modular_mult(c, control, work, mult, mod) -> None:
+    """Controlled modular multiply: draper-adder structure in the QFT basis."""
+    n = len(work)
+    # QFT over the work register
+    for i in range(n):
+        c.h(work[i])
+        for jj in range(i + 1, n):
+            c.cp(work[jj], work[i], math.pi / (2 ** (jj - i)))
+    # doubly-controlled phase additions of mult * 2^i mod mod
+    for i in range(n - 1):
+        addend = (mult * (1 << i)) % mod
+        for j in range(n):
+            if j == i:
+                continue
+            angle = 2 * math.pi * addend / (2 ** (j + 1))
+            angle %= 2 * math.pi
+            if angle:
+                # control qubit x work-bit i, phase on work-bit j: compiled as
+                # two controlled phases and a controlled-X sandwich
+                c.cp(control, work[j], angle / 2)
+                c.cx(control, work[i])
+                c.cp(work[i], work[j], -angle / 2)
+                c.cx(control, work[i])
+                c.cp(work[i], work[j], angle / 2)
+    # inverse QFT
+    for i in reversed(range(n)):
+        for jj in reversed(range(i + 1, n)):
+            c.cp(work[jj], work[i], -math.pi / (2 ** (jj - i)))
+        c.h(work[i])
+
+
+def ghz(n: int) -> LogicalCircuit:
+    """GHZ state: Clifford-only control workload (zero magic states)."""
+    c = LogicalCircuit(n, f"ghz-{n}")
+    c.h(0)
+    for q in range(n - 1):
+        c.cx(q, q + 1)
+    c.measure_all()
+    return c
+
+
+#: the six workloads of Fig. 3c / Fig. 16, at the paper's qubit counts
+PAPER_WORKLOADS = {
+    "qft-80": lambda: qft(80),
+    "qpe-80": lambda: qpe(80),
+    "ising-98": lambda: ising(98),
+    "wstate-118": lambda: wstate(118),
+    "multiplier-75": lambda: multiplier(18),  # 4*18+1 = 73 ~ 75 qubits
+    "shor-15": lambda: shor(15),
+}
+
+
+def build_workload(name: str) -> LogicalCircuit:
+    """Build one of the paper's benchmark circuits by name."""
+    if name not in PAPER_WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; choose from {sorted(PAPER_WORKLOADS)}")
+    return PAPER_WORKLOADS[name]()

@@ -1,0 +1,160 @@
+"""Logical-circuit intermediate representation.
+
+A :class:`LogicalCircuit` is a flat list of logical gates on logical qubits —
+the abstraction level of MQTBench benchmarks and of the resource estimator.
+It deliberately knows nothing about patches or physical qubits; the resource
+layer maps it onto lattice-surgery operations.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+__all__ = ["LogicalGate", "LogicalCircuit", "CLIFFORD_GATES", "PAULI_ANGLE_TOL"]
+
+#: gate names treated as Clifford (no magic-state consumption)
+CLIFFORD_GATES = {"i", "x", "y", "z", "h", "s", "sdg", "cx", "cz", "swap", "measure", "reset"}
+
+#: tolerance when classifying rotation angles as Clifford / T-like
+PAULI_ANGLE_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class LogicalGate:
+    """One logical operation."""
+
+    name: str
+    qubits: tuple[int, ...]
+    angle: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"{self.name} has repeated qubits {self.qubits}")
+
+    @property
+    def is_rotation(self) -> bool:
+        return self.name in ("rz", "rx", "ry", "cp", "crz", "crx", "cry", "rzz", "p", "u1")
+
+    def rotation_kind(self) -> str:
+        """Classify a rotation angle: 'clifford', 't', or 'synth'."""
+        if not self.is_rotation:
+            raise ValueError(f"{self.name} is not a rotation")
+        theta = (self.angle or 0.0) % (2 * math.pi)
+        for num in range(0, 8):
+            if abs(theta - num * math.pi / 4) < PAULI_ANGLE_TOL:
+                return "clifford" if num % 2 == 0 else "t"
+        return "synth"
+
+
+class LogicalCircuit:
+    """Ordered list of logical gates over ``num_qubits`` logical qubits."""
+
+    def __init__(self, num_qubits: int, name: str = "circuit"):
+        if num_qubits < 1:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.gates: list[LogicalGate] = []
+
+    def append(self, name: str, qubits: Iterable[int] | int, angle: float | None = None) -> None:
+        """Append one gate; qubits may be an int or an iterable."""
+        if isinstance(qubits, int):
+            qubits = (qubits,)
+        qubits = tuple(int(q) for q in qubits)
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range for {self.num_qubits}-qubit circuit")
+        self.gates.append(LogicalGate(name=name, qubits=qubits, angle=angle))
+
+    # common gate helpers keep generator code readable ------------------------
+
+    def h(self, q: int) -> None:
+        """Hadamard."""
+        self.append("h", q)
+
+    def x(self, q: int) -> None:
+        """Pauli X."""
+        self.append("x", q)
+
+    def s(self, q: int) -> None:
+        """Phase gate S."""
+        self.append("s", q)
+
+    def t(self, q: int) -> None:
+        """T gate (one magic-state consumption)."""
+        self.append("t", q)
+
+    def tdg(self, q: int) -> None:
+        """Inverse T gate."""
+        self.append("tdg", q)
+
+    def cx(self, c: int, t: int) -> None:
+        """Controlled-NOT."""
+        self.append("cx", (c, t))
+
+    def cz(self, a: int, b: int) -> None:
+        """Controlled-Z (via H-conjugated CNOT)."""
+        self.append("cz", (a, b))
+
+    def ccx(self, a: int, b: int, t: int) -> None:
+        """Toffoli."""
+        self.append("ccx", (a, b, t))
+
+    def rz(self, q: int, angle: float) -> None:
+        """Z rotation by ``angle``."""
+        self.append("rz", q, angle)
+
+    def ry(self, q: int, angle: float) -> None:
+        """Y rotation by ``angle``."""
+        self.append("ry", q, angle)
+
+    def rx(self, q: int, angle: float) -> None:
+        """X rotation by ``angle``."""
+        self.append("rx", q, angle)
+
+    def cp(self, c: int, t: int, angle: float) -> None:
+        """Controlled phase by ``angle``."""
+        self.append("cp", (c, t), angle)
+
+    def rzz(self, a: int, b: int, angle: float) -> None:
+        """ZZ interaction rotation by ``angle``."""
+        self.append("rzz", (a, b), angle)
+
+    def swap(self, a: int, b: int) -> None:
+        """SWAP (three CNOTs)."""
+        self.append("swap", (a, b))
+
+    def measure(self, q: int) -> None:
+        """Z-basis measurement of one logical qubit."""
+        self.append("measure", q)
+
+    def measure_all(self) -> None:
+        """Measure every logical qubit in the Z basis."""
+        for q in range(self.num_qubits):
+            self.measure(q)
+
+    # queries -----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[LogicalGate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def count(self, name: str) -> int:
+        """Number of gates with the given name."""
+        return sum(1 for g in self.gates if g.name == name)
+
+    def depth(self) -> int:
+        """Gate depth over all qubits (unit cost per gate)."""
+        frontier = [0] * self.num_qubits
+        for g in self.gates:
+            level = max(frontier[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogicalCircuit({self.name!r}, {self.num_qubits} qubits, {len(self.gates)} gates)"

@@ -1,0 +1,167 @@
+"""Mapping logical circuits onto a lattice of surface-code patches.
+
+Implements the substrate of Sec. 2.2: logical data patches live in a row of
+tiles with a routing bus above them; every multi-qubit logical operation is a
+lattice-surgery merge spanning the participating patches plus the bus tiles
+between them (the long-range CNOT of Fig. 2(e)); T consumptions merge a data
+patch with the magic-state port at the left edge of the bus.
+
+The mapper performs greedy list scheduling: an operation issues in the
+earliest timestep where its route does not intersect any already-scheduled
+route.  Each timestep is one lattice-surgery window (d error-correction
+rounds), and every scheduled multi-patch operation is one *synchronization
+event* involving its patches — the events the paper's synchronization engine
+must serve.  :meth:`MappedProgram.sync_profile` therefore gives a
+layout-aware version of the Fig. 3(c) estimate, and
+:meth:`MappedProgram.max_concurrent_ops` a routed version of the Fig. 20
+concurrency bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ir import LogicalCircuit, LogicalGate
+
+__all__ = ["LatticeSurgeryOp", "MappedProgram", "map_circuit"]
+
+
+@dataclass(frozen=True)
+class LatticeSurgeryOp:
+    """One scheduled lattice-surgery operation."""
+
+    timestep: int
+    kind: str  # "cx" | "t" | "rotation" | "measure" | "ccx"
+    qubits: tuple[int, ...]
+    #: bus tiles occupied (inclusive integer range along the bus)
+    route: tuple[int, int]
+
+    @property
+    def num_patches(self) -> int:
+        """Patches whose cycles must synchronize for this operation."""
+        return len(self.qubits) + 1  # participants + the routing ancilla patch
+
+
+@dataclass
+class MappedProgram:
+    """A logical circuit scheduled onto the tile layout."""
+
+    circuit: LogicalCircuit
+    ops: list[LatticeSurgeryOp] = field(default_factory=list)
+    num_timesteps: int = 0
+
+    @property
+    def num_tiles(self) -> int:
+        # one tile per logical qubit + the bus row + the magic-state port
+        return 2 * self.circuit.num_qubits + 1
+
+    def ops_at(self, timestep: int) -> list[LatticeSurgeryOp]:
+        """Operations scheduled in the given timestep."""
+        return [op for op in self.ops if op.timestep == timestep]
+
+    def max_concurrent_ops(self) -> int:
+        """Peak number of operations sharing a timestep."""
+        counts: dict[int, int] = {}
+        for op in self.ops:
+            counts[op.timestep] = counts.get(op.timestep, 0) + 1
+        return max(counts.values(), default=0)
+
+    def sync_events(self) -> int:
+        """Total synchronized multi-patch operations in the program."""
+        return len(self.ops)
+
+    def sync_profile(self, code_distance: int = 15) -> dict[str, float]:
+        """Layout-aware synchronization statistics (cf. Fig. 3c)."""
+        cycles = self.num_timesteps * code_distance
+        return {
+            "timesteps": self.num_timesteps,
+            "total_cycles": cycles,
+            "sync_events": self.sync_events(),
+            "syncs_per_cycle": self.sync_events() / cycles if cycles else 0.0,
+        }
+
+    def bus_utilization(self) -> float:
+        """Mean fraction of bus tiles occupied per timestep."""
+        if self.num_timesteps == 0:
+            return 0.0
+        width = self.circuit.num_qubits
+        used = sum(op.route[1] - op.route[0] + 1 for op in self.ops)
+        return used / (self.num_timesteps * width)
+
+
+#: gate kinds that become lattice-surgery operations, with timestep cost
+_MAGIC_KINDS = {"t": "t", "tdg": "t", "ccx": "ccx"}
+
+
+def map_circuit(circuit: LogicalCircuit) -> MappedProgram:
+    """Greedy-schedule ``circuit`` onto the row-plus-bus layout.
+
+    Logical qubit ``q`` sits at bus position ``q``; the magic-state port sits
+    at position -1 (left edge), so T consumptions route from the port to the
+    target qubit.  Single-qubit Cliffords are free (absorbed into Pauli
+    frames / patch orientation); measurements are single-patch and need no
+    bus.
+    """
+    program = MappedProgram(circuit=circuit)
+    #: per-timestep list of occupied bus intervals
+    occupied: list[list[tuple[int, int]]] = []
+    #: earliest timestep each qubit is free
+    qubit_free: list[int] = [0] * circuit.num_qubits
+
+    def reserve(start: int, interval: tuple[int, int], duration: int = 1) -> int:
+        t = start
+        while True:
+            if all(
+                _route_free(occupied, t + k, interval) for k in range(duration)
+            ):
+                for k in range(duration):
+                    _ensure(occupied, t + k).append(interval)
+                return t
+            t += 1
+
+    for gate in circuit.gates:
+        kind, interval, duration = _classify(gate)
+        if kind is None:
+            continue
+        earliest = max(qubit_free[q] for q in gate.qubits)
+        t = reserve(earliest, interval, duration)
+        program.ops.append(
+            LatticeSurgeryOp(timestep=t, kind=kind, qubits=gate.qubits, route=interval)
+        )
+        for q in gate.qubits:
+            qubit_free[q] = t + duration
+        program.num_timesteps = max(program.num_timesteps, t + duration)
+    return program
+
+
+def _classify(gate: LogicalGate):
+    """(kind, bus interval, duration) of one gate; (None, ..) for free gates."""
+    if gate.name in ("cx", "cz", "swap"):
+        lo, hi = min(gate.qubits), max(gate.qubits)
+        return "cx", (lo, hi), 1
+    if gate.name in ("t", "tdg"):
+        return "t", (-1, gate.qubits[0]), 1
+    if gate.name == "ccx":
+        lo, hi = min(gate.qubits), max(gate.qubits)
+        return "ccx", (min(-1, lo), hi), 3
+    if gate.name == "measure":
+        return "measure", (gate.qubits[0], gate.qubits[0]), 1
+    if gate.is_rotation:
+        if gate.rotation_kind() == "clifford":
+            return None, None, None
+        lo, hi = min(-1, min(gate.qubits)), max(gate.qubits)
+        return "rotation", (lo, hi), 1
+    return None, None, None
+
+
+def _ensure(occupied: list[list[tuple[int, int]]], t: int) -> list[tuple[int, int]]:
+    while len(occupied) <= t:
+        occupied.append([])
+    return occupied[t]
+
+
+def _route_free(occupied, t: int, interval: tuple[int, int]) -> bool:
+    if t >= len(occupied):
+        return True
+    lo, hi = interval
+    return all(hi < a or b < lo for a, b in occupied[t])

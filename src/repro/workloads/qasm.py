@@ -1,0 +1,139 @@
+"""OpenQASM 2.0 subset parser.
+
+``lattice-sim`` consumes QASM circuits (Sec. 6); this parser covers the
+subset emitted by MQTBench and Qiskit exports: one quantum register, the
+standard gate set (h/x/y/z/s/sdg/t/tdg/cx/cz/swap/ccx), parameterized
+rotations (rz/rx/ry/p/u1/cp/crz/rzz), measurement, barriers, and comments.
+Custom ``gate`` definitions are not expanded (MQTBench benchmarks ship
+flattened).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .ir import LogicalCircuit
+
+__all__ = ["parse_qasm", "QasmError"]
+
+
+class QasmError(ValueError):
+    """Raised on malformed or unsupported QASM input."""
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<args>[^)]*)\))?\s+(?P<operands>[^;]+);?$"
+)
+_OPERAND_RE = re.compile(r"^(?P<reg>[a-zA-Z_][\w]*)\s*\[\s*(?P<idx>\d+)\s*\]$")
+
+_SUPPORTED = {
+    "h", "x", "y", "z", "s", "sdg", "t", "tdg", "id", "i",
+    "cx", "cz", "swap", "ccx",
+    "rz", "rx", "ry", "p", "u1", "cp", "cu1", "crz", "crx", "cry", "rzz",
+    "measure", "reset", "barrier",
+}
+
+_NAME_MAP = {"id": "i", "u1": "rz", "p": "rz", "cu1": "cp"}
+
+
+def parse_qasm(text: str, *, name: str = "qasm") -> LogicalCircuit:
+    """Parse OpenQASM 2.0 text into a :class:`LogicalCircuit`."""
+    lines = _logical_lines(text)
+    regs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    total = 0
+    body: list[str] = []
+    for line in lines:
+        if line.startswith(("OPENQASM", "include", "creg", "gate ", "gate(")):
+            continue
+        if line.startswith("qreg"):
+            m = re.match(r"qreg\s+([a-zA-Z_][\w]*)\s*\[\s*(\d+)\s*\]", line)
+            if not m:
+                raise QasmError(f"bad qreg declaration: {line!r}")
+            regs[m.group(1)] = (total, int(m.group(2)))
+            total += int(m.group(2))
+            continue
+        body.append(line)
+    if total == 0:
+        raise QasmError("no qreg declared")
+
+    circuit = LogicalCircuit(total, name=name)
+    for line in body:
+        _parse_statement(line, regs, circuit)
+    return circuit
+
+
+def _logical_lines(text: str) -> list[str]:
+    out = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        for stmt in line.split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                out.append(stmt)
+    return out
+
+
+def _parse_statement(line: str, regs, circuit: LogicalCircuit) -> None:
+    if line.startswith("measure"):
+        m = re.match(r"measure\s+(.+?)\s*->\s*.+", line)
+        if not m:
+            raise QasmError(f"bad measure statement: {line!r}")
+        for q in _resolve_operand(m.group(1), regs):
+            circuit.measure(q)
+        return
+    m = _GATE_RE.match(line)
+    if not m:
+        raise QasmError(f"unparseable statement: {line!r}")
+    gate = m.group("name").lower()
+    if gate == "barrier":
+        return
+    if gate not in _SUPPORTED:
+        raise QasmError(f"unsupported gate {gate!r}")
+    angle = None
+    if m.group("args"):
+        angle = _eval_angle(m.group("args"))
+    operands: list[int] = []
+    for op in m.group("operands").split(","):
+        operands.extend(_resolve_operand(op.strip(), regs))
+    gate = _NAME_MAP.get(gate, gate)
+    if gate == "reset":
+        for q in operands:
+            circuit.append("reset", q)
+        return
+    if angle is not None:
+        circuit.append(gate, operands, angle)
+    else:
+        circuit.append(gate, operands)
+
+
+def _resolve_operand(text: str, regs) -> list[int]:
+    m = _OPERAND_RE.match(text)
+    if m:
+        reg, idx = m.group("reg"), int(m.group("idx"))
+        if reg not in regs:
+            raise QasmError(f"unknown register {reg!r}")
+        offset, size = regs[reg]
+        if idx >= size:
+            raise QasmError(f"index {idx} out of range for register {reg!r}")
+        return [offset + idx]
+    if text in regs:  # whole-register broadcast
+        offset, size = regs[text]
+        return list(range(offset, offset + size))
+    raise QasmError(f"bad operand {text!r}")
+
+
+_ANGLE_TOKEN = re.compile(r"^[\d\s+\-*/().eE]*$")
+
+
+def _eval_angle(expr: str) -> float:
+    """Evaluate a restricted arithmetic expression with ``pi``."""
+    cleaned = expr.replace("pi", repr(math.pi))
+    if not _ANGLE_TOKEN.match(cleaned):
+        raise QasmError(f"unsupported angle expression {expr!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {}))  # noqa: S307 - sanitized
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"bad angle expression {expr!r}") from exc

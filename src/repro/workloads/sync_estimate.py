@@ -1,0 +1,98 @@
+"""Workload-level synchronization estimates (Fig. 3c and Fig. 16).
+
+* :func:`syncs_per_cycle_table` — the Fig. 3c bars: a lower bound on
+  synchronized lattice-surgery operations per error-correction cycle,
+  obtained from magic-state counts and program cycle counts.
+* :func:`program_ler_increase` — the Fig. 16 model: assuming (conservatively)
+  that synchronization-induced error grows linearly with the number of
+  lattice-surgery operations, the relative increase in the final program LER
+  for a policy is
+
+      1 + syncs_per_cycle * (LER_policy - LER_ideal) / LER_ideal_per_op
+
+  i.e. the extra per-operation error of the policy, weighted by how often the
+  program synchronizes, relative to the error floor of an ideal system that
+  never needs synchronization.
+* :func:`max_concurrent_cnots` — the Fig. 20 inset: the peak number of
+  simultaneously-schedulable two-qubit logical operations, which bounds how
+  many patches one synchronization event may involve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .generators import PAPER_WORKLOADS, build_workload
+from .ir import LogicalCircuit
+from .resources import ResourceEstimate, estimate_resources
+
+__all__ = [
+    "WorkloadSyncEstimate",
+    "syncs_per_cycle_table",
+    "program_ler_increase",
+    "max_concurrent_cnots",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSyncEstimate:
+    """One Fig. 3c bar."""
+
+    name: str
+    resources: ResourceEstimate
+
+    @property
+    def syncs_per_cycle(self) -> float:
+        return self.resources.syncs_per_cycle
+
+    @property
+    def total_cycles(self) -> int:
+        return self.resources.total_cycles
+
+
+def syncs_per_cycle_table(
+    workloads: list[str] | None = None,
+    *,
+    code_distance: int = 15,
+) -> list[WorkloadSyncEstimate]:
+    """Fig. 3c: minimum synchronizations per logical cycle per workload."""
+    names = workloads if workloads is not None else sorted(PAPER_WORKLOADS)
+    out = []
+    for name in names:
+        circuit = build_workload(name)
+        res = estimate_resources(circuit, code_distance=code_distance)
+        out.append(WorkloadSyncEstimate(name=name, resources=res))
+    return out
+
+
+def program_ler_increase(
+    syncs_per_cycle: float,
+    ler_policy: float,
+    ler_ideal: float,
+) -> float:
+    """Fig. 16: relative increase in the final program LER vs an ideal system.
+
+    ``ler_policy`` and ``ler_ideal`` are per-lattice-surgery-operation logical
+    error rates (e.g. from the Fig. 15 experiment); the increase scales with
+    how often the workload must synchronize.
+    """
+    if ler_ideal <= 0:
+        raise ValueError("ideal LER must be positive")
+    if ler_policy < ler_ideal:
+        return 1.0
+    excess = (ler_policy - ler_ideal) / ler_ideal
+    return 1.0 + syncs_per_cycle * excess
+
+
+def max_concurrent_cnots(circuit: LogicalCircuit) -> int:
+    """Peak number of two-qubit logical gates schedulable in one layer."""
+    frontier = [0] * circuit.num_qubits
+    layer_counts: dict[int, int] = {}
+    for gate in circuit.gates:
+        if len(gate.qubits) < 2:
+            continue
+        level = max(frontier[q] for q in gate.qubits) + 1
+        for q in gate.qubits:
+            frontier[q] = level
+        layer_counts[level] = layer_counts.get(level, 0) + 1
+    return max(layer_counts.values(), default=0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.noise import GOOGLE, IBM, NoiseModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def ibm_noise():
+    return NoiseModel(hardware=IBM, p=1e-3)
+
+
+@pytest.fixture
+def google_noise():
+    return NoiseModel(hardware=GOOGLE, p=1e-3)
+
+
+@pytest.fixture
+def quiet_noise():
+    """Gate noise only; idling disabled (fast, literature-comparable)."""
+    return NoiseModel(hardware=GOOGLE, p=1e-3, idle_scale=0.0)

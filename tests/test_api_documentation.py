@@ -1,0 +1,59 @@
+"""Documentation contract: every public API item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.stab",
+    "repro.codes",
+    "repro.noise",
+    "repro.timing",
+    "repro.core",
+    "repro.decoders",
+    "repro.workloads",
+    "repro.casestudies",
+    "repro.experiments",
+]
+
+
+def _all_modules():
+    out = []
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        out.append(mod)
+        if hasattr(mod, "__path__"):
+            for info in pkgutil.iter_modules(mod.__path__):
+                if not info.name.startswith("_"):
+                    out.append(importlib.import_module(f"{name}.{info.name}"))
+    return out
+
+
+@pytest.mark.parametrize("module", _all_modules(), ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+
+@pytest.mark.parametrize("module", _all_modules(), ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    undocumented = []
+    public = getattr(module, "__all__", None)
+    if public is None:
+        return
+    for name in public:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__doc__ is None or not obj.__doc__.strip():
+                undocumented.append(name)
+            if inspect.isclass(obj):
+                for mname, method in vars(obj).items():
+                    if mname.startswith("_") or not inspect.isfunction(method):
+                        continue
+                    if method.__doc__ is None or not method.__doc__.strip():
+                        undocumented.append(f"{name}.{mname}")
+    assert not undocumented, f"{module.__name__}: undocumented public items {undocumented}"

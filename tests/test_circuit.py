@@ -1,0 +1,128 @@
+"""Circuit IR tests: validation, record tracking, composition."""
+
+import pytest
+
+from repro.stab import Circuit
+from repro.stab.gates import GATES, GateKind
+
+
+def test_measurement_records_are_sequential():
+    c = Circuit()
+    c.append("R", [0, 1, 2])
+    first = c.append("M", [0, 1])
+    second = c.append("M", [2])
+    assert first == [0, 1]
+    assert second == [2]
+    assert c.num_measurements == 3
+
+
+def test_detector_validation_rejects_future_records():
+    c = Circuit()
+    c.append("R", [0])
+    with pytest.raises(ValueError):
+        c.detector([0])  # no measurement yet
+    c.append("M", [0])
+    c.detector([0])
+    assert c.num_detectors == 1
+
+
+def test_unknown_instruction_rejected():
+    c = Circuit()
+    with pytest.raises(ValueError):
+        c.append("FROBNICATE", [0])
+
+
+def test_probability_arity_enforced():
+    c = Circuit()
+    with pytest.raises(ValueError):
+        c.append("X_ERROR", [0])  # missing prob
+    with pytest.raises(ValueError):
+        c.append("PAULI_CHANNEL_1", [0], [0.1])  # needs three
+    with pytest.raises(ValueError):
+        c.append("X_ERROR", [0], [1.5])  # out of range
+
+
+def test_two_qubit_targets_must_pair():
+    c = Circuit()
+    with pytest.raises(ValueError):
+        c.append("CX", [0])
+    with pytest.raises(ValueError):
+        c.append("CX", [0, 0])
+    c.append("CX", [0, 1, 2, 3])
+    assert c.num_qubits == 4
+
+
+def test_observable_requires_index():
+    c = Circuit()
+    c.append("R", [0])
+    c.append("M", [0])
+    with pytest.raises(ValueError):
+        c.append("OBSERVABLE_INCLUDE", rec=[0])
+    c.observable_include(2, [0])
+    assert c.num_observables == 3
+
+
+def test_count_counts_per_application():
+    c = Circuit()
+    c.append("R", [0, 1])
+    c.append("CX", [0, 1, 1, 0])
+    c.append("H", [0, 1])
+    assert c.count("CX") == 2
+    assert c.count("H") == 2
+    assert c.count("M") == 0
+
+
+def test_without_noise_strips_channels_only():
+    c = Circuit()
+    c.append("R", [0])
+    c.append("X_ERROR", [0], [0.1])
+    c.append("DEPOLARIZE1", [0], [0.1])
+    m = c.append("M", [0])
+    c.detector(m)
+    clean = c.without_noise()
+    assert clean.count("X_ERROR") == 0
+    assert clean.count("M") == 1
+    assert clean.num_detectors == 1
+
+
+def test_extend_shifts_records_and_observables():
+    a = Circuit()
+    a.append("R", [0])
+    ra = a.append("M", [0])
+    a.detector(ra)
+    a.observable_include(0, ra)
+
+    b = Circuit()
+    b.append("R", [0])
+    rb = b.append("M", [0])
+    b.detector(rb)
+    b.observable_include(0, rb)
+
+    a.extend(b)
+    assert a.num_measurements == 2
+    assert a.num_detectors == 2
+    assert a.detectors[1].rec == (1,)
+
+
+def test_qubit_coords_tracked():
+    c = Circuit()
+    c.append("QUBIT_COORDS", [3], coords=(1.0, 2.0))
+    assert c.qubit_coords[3] == (1.0, 2.0)
+
+
+def test_to_text_contains_instructions():
+    c = Circuit()
+    c.append("R", [0])
+    c.append("X_ERROR", [0], [0.25])
+    m = c.append("M", [0])
+    c.detector(m)
+    text = c.to_text()
+    assert "X_ERROR(0.25) 0" in text
+    assert "DETECTOR" in text
+
+
+def test_gate_table_consistency():
+    for name, gate in GATES.items():
+        assert gate.kind in vars(GateKind).values()
+        if gate.kind in (GateKind.CLIFFORD_2, GateKind.NOISE_2):
+            assert gate.targets_per_op == 2

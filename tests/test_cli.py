@@ -1,0 +1,34 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def test_list_runs(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out
+    assert "table5" in out
+
+
+def test_driver_registry_covers_figures():
+    for key in ("fig10", "fig11", "fig14", "fig22", "table1", "table5", "fig3c"):
+        assert key in cli.DRIVERS
+
+
+def test_run_fast_driver(capsys, tmp_path):
+    assert cli.main(["run", "fig10", "--out", str(tmp_path)]) == 0
+    data = json.loads((tmp_path / "fig10.json").read_text())
+    assert [row["extra_rounds"] for row in data] == [None, 5, 11, 22, 26, 52, 34, 68]
+
+
+def test_run_unknown_driver():
+    assert cli.main(["run", "figurine"]) == 2
+
+
+def test_run_with_shots(capsys, tmp_path):
+    assert cli.main(["run", "fig4a", "--shots", "2000", "--out", str(tmp_path)]) == 0
+    assert (tmp_path / "fig4a.json").exists()

@@ -1,0 +1,166 @@
+"""Generic CSS machinery, bivariate-bicycle and color code tests."""
+
+import numpy as np
+import pytest
+
+from repro._gf2 import in_rowspace, nullspace, rank, row_reduce
+from repro.codes.color import steane_code, triangular_color_code
+from repro.codes.css import (
+    CssCode,
+    css_memory_experiment,
+    cycle_time_ns,
+    syndrome_schedule,
+)
+from repro.codes.qldpc import bivariate_bicycle_code, make_gross_code, make_small_bb_code
+from repro.noise import IBM, NoiseModel
+from repro.stab import FrameSimulator, simulate_circuit
+
+
+# --- GF(2) linear algebra ----------------------------------------------------
+
+
+def test_row_reduce_and_rank():
+    m = [[1, 1, 0], [0, 1, 1], [1, 0, 1]]  # third row = sum of first two
+    reduced, pivots = row_reduce(m)
+    assert len(pivots) == 2
+    assert rank(m) == 2
+
+
+def test_nullspace_vectors_annihilate():
+    rng = np.random.default_rng(0)
+    m = (rng.random((6, 10)) < 0.4).astype(np.uint8)
+    ns = nullspace(m)
+    assert ns.shape[0] == 10 - rank(m)
+    assert not ((m @ ns.T) % 2).any()
+
+
+def test_in_rowspace():
+    m = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+    assert in_rowspace(m, [1, 0, 1])  # sum of the rows
+    assert not in_rowspace(m, [1, 0, 0])
+
+
+# --- CssCode ------------------------------------------------------------------
+
+
+def test_css_commutation_enforced():
+    hx = np.array([[1, 1, 0]], dtype=np.uint8)
+    hz = np.array([[1, 0, 0]], dtype=np.uint8)  # anticommutes with hx
+    with pytest.raises(ValueError):
+        CssCode(name="bad", hx=hx, hz=hz)
+
+
+def test_steane_parameters():
+    code = steane_code()
+    assert code.num_qubits == 7
+    assert code.num_logical == 1
+    assert code.check_weights() == (4, 4)
+    lz = code.logical_z_operators()
+    assert lz.shape == (1, 7)
+    # logical commutes with all X checks but is not a Z stabilizer
+    assert not ((code.hx @ lz.T) % 2).any()
+    assert not in_rowspace(code.hz, lz[0])
+
+
+def test_triangular_color_code_d3_is_steane():
+    code = triangular_color_code(3)
+    assert code.num_qubits == 7
+    assert code.num_logical == 1
+    with pytest.raises(NotImplementedError):
+        triangular_color_code(5)
+    with pytest.raises(ValueError):
+        triangular_color_code(4)
+
+
+def test_small_bb_code_parameters():
+    code = make_small_bb_code()
+    assert code.num_qubits == 72  # 2 * l * m with l = m = 6
+    assert code.num_x_checks == 36
+    assert code.num_logical == 12
+    assert code.check_weights() == (6, 6)
+
+
+def test_gross_code_parameters():
+    code = make_gross_code()
+    assert code.num_qubits == 144  # 2 * 12 * 6
+    assert code.num_logical == 12
+
+
+def test_bb_code_logical_operators_valid():
+    code = make_small_bb_code()
+    lz = code.logical_z_operators()
+    assert lz.shape[0] == 12
+    assert not ((code.hx @ lz.T) % 2).any()
+    for row in lz:
+        assert not in_rowspace(code.hz, row)
+
+
+# --- schedules and cycle times ----------------------------------------------------
+
+
+def test_schedule_layers_are_conflict_free_steane():
+    code = steane_code()
+    layers = syndrome_schedule(code)
+    for layer in layers:
+        ancillas = [a for a, _, _ in layer]
+        datas = [q for _, q, _ in layer]
+        assert len(set(ancillas)) == len(ancillas)
+        assert len(set(datas)) == len(datas)
+    total = sum(len(layer) for layer in layers)
+    assert total == int(code.hx.sum() + code.hz.sum())
+
+
+def test_bb_schedule_deeper_than_surface():
+    """The qLDPC cycle needs more CNOT layers than the surface code's 4 —
+    the desynchronization mechanism of Sec. 3.4.2."""
+    code = make_small_bb_code()
+    layers = syndrome_schedule(code)
+    assert len(layers) >= 6
+    assert cycle_time_ns(code, IBM) > IBM.cycle_time_ns
+
+
+def test_steane_cycle_longer_than_surface():
+    code = steane_code()
+    assert len(syndrome_schedule(code)) >= 6
+    assert cycle_time_ns(code, IBM) > IBM.cycle_time_ns
+
+
+# --- memory experiments ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("basis", ["Z", "X"])
+def test_steane_memory_determinism(basis):
+    noise = NoiseModel(hardware=IBM, p=1e-3)
+    art = css_memory_experiment(steane_code(), 2, noise, basis=basis)
+    clean = art.circuit.without_noise()
+    for seed in range(4):
+        _, det, obs = simulate_circuit(clean, seed)
+        assert det.sum() == 0
+        assert obs.sum() == 0
+
+
+def test_bb_memory_determinism():
+    noise = NoiseModel(hardware=IBM, p=1e-3)
+    art = css_memory_experiment(make_small_bb_code(), 2, noise, basis="Z")
+    clean = art.circuit.without_noise()
+    _, det, obs = simulate_circuit(clean, 0)
+    assert det.sum() == 0
+    assert obs.sum() == 0
+
+
+def test_steane_memory_detects_noise():
+    noise = NoiseModel(hardware=IBM, p=5e-3)
+    art = css_memory_experiment(steane_code(), 3, noise)
+    det, obs = FrameSimulator(art.circuit).sample(4000, rng=1)
+    assert det.mean() > 0
+    assert 0 < obs.mean() < 0.5
+
+
+def test_memory_argument_validation():
+    noise = NoiseModel(hardware=IBM, p=1e-3)
+    with pytest.raises(ValueError):
+        css_memory_experiment(steane_code(), 0, noise)
+    with pytest.raises(ValueError):
+        css_memory_experiment(steane_code(), 2, noise, basis="Y")
+    with pytest.raises(ValueError):
+        css_memory_experiment(steane_code(), 2, noise, logical_index=5)

@@ -1,0 +1,133 @@
+"""Matching-graph construction and graphlike-distance tests."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import build_matching_graph, graphlike_distance
+from repro.stab.dem import DemError, DetectorErrorModel
+
+
+def _dem(errors, ndet, nobs=1):
+    return DetectorErrorModel(
+        errors=[DemError(p, d, o) for p, d, o in errors],
+        num_detectors=ndet,
+        num_observables=nobs,
+        detector_coords=[() for _ in range(ndet)],
+        detector_basis=["Z"] * ndet,
+    )
+
+
+def test_boundary_and_bulk_edges():
+    dem = _dem(
+        [
+            (0.1, (0,), (0,)),  # boundary edge flipping the observable
+            (0.1, (0, 1), ()),  # bulk edge
+            (0.1, (1,), ()),  # boundary edge
+        ],
+        ndet=2,
+    )
+    g = build_matching_graph(dem)
+    assert g.num_edges == 3
+    assert g.boundary_node == 2
+    assert set(zip(g.edge_u.tolist(), g.edge_v.tolist())) == {(0, 2), (0, 1), (1, 2)}
+
+
+def test_parallel_edges_with_distinct_obs_kept():
+    dem = _dem([(0.1, (0, 1), ()), (0.05, (0, 1), (0,))], ndet=2)
+    g = build_matching_graph(dem)
+    assert g.num_edges == 2
+    masks = set(g.edge_obs.tolist())
+    assert masks == {0, 1}
+
+
+def test_same_signature_probabilities_combine():
+    dem = _dem([(0.1, (0, 1), ()), (0.2, (0, 1), ())], ndet=2)
+    g = build_matching_graph(dem)
+    assert g.num_edges == 1
+    assert g.edge_prob[0] == pytest.approx(0.1 * 0.8 + 0.2 * 0.9)
+
+
+def test_undetectable_obs_probability_recorded():
+    dem = _dem([(0.01, (), (0,)), (0.1, (0,), ())], ndet=1)
+    g = build_matching_graph(dem)
+    assert g.undetectable_obs_probability[0] == pytest.approx(0.01)
+
+
+def test_composite_error_decomposed_into_known_edges():
+    dem = _dem(
+        [
+            (0.1, (0, 1), ()),
+            (0.1, (2, 3), (0,)),
+            (0.01, (0, 1, 2, 3), (0,)),  # must split into the two known pairs
+        ],
+        ndet=4,
+    )
+    g = build_matching_graph(dem)
+    assert g.decomposition_fallbacks == 0
+    assert g.num_edges == 2
+    pair_01 = np.flatnonzero((g.edge_u == 0) & (g.edge_v == 1))[0]
+    assert g.edge_prob[pair_01] == pytest.approx(0.1 * 0.99 + 0.01 * 0.9)
+
+
+def test_composite_fallback_counted():
+    dem = _dem([(0.01, (0, 1, 2), ())], ndet=3)
+    g = build_matching_graph(dem)
+    assert g.decomposition_fallbacks == 1
+
+
+def test_weights_positive_and_monotone():
+    dem = _dem([(0.01, (0, 1), ()), (0.2, (1, 2), ())], ndet=3)
+    g = build_matching_graph(dem)
+    w = dict(zip(zip(g.edge_u.tolist(), g.edge_v.tolist()), g.edge_weight.tolist()))
+    assert w[(0, 1)] > w[(1, 2)] > 0
+
+
+def test_integer_weights_are_even_and_positive():
+    dem = _dem([(0.01, (0, 1), ()), (0.2, (1, 2), ())], ndet=3)
+    g = build_matching_graph(dem)
+    iw = g.integer_weights()
+    assert (iw >= 2).all()
+    assert (iw % 2 == 0).all()
+
+
+def test_graphlike_distance_chain():
+    # boundary - 0 - 1 - 2 - boundary; the logical crosses the chain once,
+    # so the shortest undetectable observable flip is the full 4-edge chain.
+    dem = _dem(
+        [
+            (0.1, (0,), (0,)),
+            (0.1, (0, 1), ()),
+            (0.1, (1, 2), ()),
+            (0.1, (2,), ()),
+        ],
+        ndet=3,
+    )
+    g = build_matching_graph(dem)
+    assert graphlike_distance(g, 0) == 4
+
+
+def test_graphlike_distance_short_circuit():
+    # two boundary edges on the same detector, one flips the observable
+    dem = _dem([(0.1, (0,), (0,)), (0.1, (0,), ())], ndet=1)
+    g = build_matching_graph(dem)
+    assert graphlike_distance(g, 0) == 2
+
+
+def test_graphlike_distance_unreachable():
+    dem = _dem([(0.1, (0, 1), ())], ndet=2)
+    g = build_matching_graph(dem)
+    assert graphlike_distance(g, 0) == -1
+
+
+def test_basis_filter_restricts_detectors():
+    dem = DetectorErrorModel(
+        errors=[DemError(0.1, (0,), ()), DemError(0.1, (1,), (0,))],
+        num_detectors=2,
+        num_observables=1,
+        detector_coords=[(), ()],
+        detector_basis=["X", "Z"],
+    )
+    g = build_matching_graph(dem, basis="Z")
+    assert g.num_detectors == 1
+    assert g.num_edges == 1
+    assert g.edge_obs[0] == 1

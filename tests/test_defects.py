@@ -1,0 +1,90 @@
+"""Dropout-repair model tests (Sec. 3.2.2)."""
+
+import pytest
+
+from repro.codes import PatchLayout
+from repro.codes.defects import (
+    DefectMap,
+    repair_schedule,
+    sample_defect_map,
+)
+from repro.core import SyncScenario, make_policy
+from repro.noise import IBM
+
+
+@pytest.fixture
+def layout():
+    return PatchLayout(0, 4, 5, vertical_basis="X")
+
+
+def test_pristine_patch_has_no_extension(layout):
+    sched = repair_schedule(layout, DefectMap())
+    assert sched.extra_cnot_layers == 0
+    assert sched.cycle_time_ns(IBM) == IBM.cycle_time_ns
+    assert sched.affected_plaquettes == []
+
+
+def test_broken_ancilla_costs_two_layers(layout):
+    pos = layout.plaquettes[len(layout.plaquettes) // 2].pos
+    sched = repair_schedule(layout, DefectMap(broken_ancilla=frozenset({pos})))
+    assert sched.extra_cnot_layers == 2
+    assert sched.affected_plaquettes == [pos]
+    assert sched.cycle_extension_ns(IBM) == 2 * IBM.time_2q_ns
+
+
+def test_broken_data_affects_adjacent_plaquettes(layout):
+    coord = (2, 2)  # interior data qubit touches plaquettes on both bases
+    sched = repair_schedule(layout, DefectMap(broken_data=frozenset({coord})))
+    assert len(sched.affected_plaquettes) >= 2
+    assert sched.extra_cnot_layers >= 1
+
+
+def test_adjacent_defects_repair_concurrently(layout):
+    # two ancillas in one cluster cost max(2,2)=2, not 4
+    ps = [p.pos for p in layout.plaquettes if p.weight == 4]
+    a = ps[0]
+    neighbour = next(
+        p for p in ps if p != a and abs(p[0] - a[0]) <= 1 and abs(p[1] - a[1]) <= 1
+    )
+    sched = repair_schedule(layout, DefectMap(broken_ancilla=frozenset({a, neighbour})))
+    assert sched.num_clusters == 1
+    assert sched.extra_cnot_layers == 2
+
+
+def test_disjoint_defects_add_up(layout):
+    far_apart = [(1, 1), (4, 4)]
+    sched = repair_schedule(layout, DefectMap(broken_ancilla=frozenset(far_apart)))
+    assert sched.num_clusters == 2
+    assert sched.extra_cnot_layers == 4
+
+
+def test_broken_coupler_costs_one_layer(layout):
+    p = next(pl for pl in layout.plaquettes if pl.weight == 4)
+    sched = repair_schedule(
+        layout, DefectMap(broken_couplers=frozenset({(p.pos, p.data[0])}))
+    )
+    assert sched.extra_cnot_layers == 1
+
+
+def test_sampled_defects_scale_with_probability(layout):
+    none = sample_defect_map(layout, 0.0, rng=0)
+    assert none.is_empty
+    some = sample_defect_map(layout, 0.3, rng=0)
+    assert not some.is_empty
+    with pytest.raises(ValueError):
+        sample_defect_map(layout, 1.5, rng=0)
+
+
+def test_defective_cycle_feeds_synchronization(layout):
+    """End-to-end: a dropout-extended patch defines a valid sync scenario."""
+    pos = layout.plaquettes[3].pos
+    sched = repair_schedule(layout, DefectMap(broken_ancilla=frozenset({pos})))
+    scenario = SyncScenario(
+        t_p_ns=IBM.cycle_time_ns,
+        t_pp_ns=sched.cycle_time_ns(IBM),
+        tau_ns=500.0,
+        base_rounds=6,
+    )
+    plan = make_policy("hybrid", eps_ns=400.0, max_rounds=200).plan(scenario)
+    assert plan.extra_rounds_p >= 1
+    assert plan.idle_ns < 400.0

@@ -1,0 +1,75 @@
+"""Fast figure-driver tests (pure arithmetic / tiny Monte-Carlo figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    SHERBROOKE,
+    fig1d_tcount_headroom,
+    fig4a_cultivation_slack,
+    fig4b_qldpc_slack,
+    fig6_dd_fidelity,
+    fig10_extra_rounds_configs,
+    fig11_hybrid_heatmap,
+    fig20_engine_scaling,
+    table5_neutral_atom_rounds,
+)
+
+
+def test_fig10_matches_paper_values():
+    rows = fig10_extra_rounds_configs()
+    assert [r["extra_rounds"] for r in rows] == [None, 5, 11, 22, 26, 52, 34, 68]
+
+
+def test_fig11_eps400_superset_of_eps100():
+    grids = fig11_hybrid_heatmap(
+        eps_values=(100, 400), t_pp_values=(1050, 1150, 1325), tau_values=range(100, 1200, 100)
+    )
+    for key, z100 in grids[100].items():
+        if z100 is not None:
+            assert grids[400][key] is not None
+            assert grids[400][key] <= z100
+
+
+def test_fig1d_headroom():
+    assert fig1d_tcount_headroom(2.4e-3, 1e-3) == pytest.approx(2.4)
+    with pytest.raises(ValueError):
+        fig1d_tcount_headroom(1e-3, 0.0)
+
+
+def test_fig4a_structure():
+    data = fig4a_cultivation_slack(shots=5000, rng=0)
+    assert set(data) == {(hw, p) for hw in ("ibm", "google") for p in (5e-4, 1e-3)}
+    for dist in data.values():
+        assert dist.samples_ns.shape == (5000,)
+
+
+def test_fig4b_structure():
+    data = fig4b_qldpc_slack(rounds=10)
+    assert set(data) == {"ibm", "google"}
+    assert all(len(v) == 11 for v in data.values())
+
+
+def test_fig6_monotone_in_windows():
+    data = fig6_dd_fidelity(idle_periods_us=(1.6, 3.2), n_values=(5, 50))
+    for rows in data.values():
+        for row in rows:
+            assert row["active"] >= row["passive"]
+
+
+def test_fig20_scaling_rows():
+    data = fig20_engine_scaling(patch_counts=(2, 10), repeats=20, rng=1)
+    assert [r["patches"] for r in data["timing"]] == [2, 10]
+    assert all(r["cpu_time_s"] > 0 for r in data["timing"])
+    assert len(data["max_concurrent_cnots"]) == 6
+
+
+def test_table5_rows_complete():
+    rows = table5_neutral_atom_rounds(taus_ms=(0.2, 1.0), eps_values_ms=(0.1, 0.4))
+    assert len(rows) == 4
+    assert all(r["mean_extra_rounds"] is not None for r in rows)
+
+
+def test_sherbrooke_preset_matches_footnote():
+    assert SHERBROOKE.t1_ns == pytest.approx(330_770.0)
+    assert SHERBROOKE.t2_ns == pytest.approx(72_680.0)

@@ -1,0 +1,74 @@
+"""Integration: end-to-end policy comparisons at reduced scale.
+
+These run the full pipeline (policy -> circuit -> DEM -> sampling -> decode)
+and assert the paper's qualitative orderings with margins wide enough to be
+stable at CI-scale shot counts.
+"""
+
+import pytest
+
+from repro.core import make_policy
+from repro.experiments import SurgeryLerConfig, run_surgery_ler
+from repro.noise import GOOGLE
+
+SHOTS = 12_000
+SEED = 99
+
+
+def _ler(policy_name, joint=True, **kw):
+    kwargs = kw.pop("policy_kwargs", {})
+    cfg = SurgeryLerConfig(
+        distance=kw.pop("distance", 3),
+        hardware=GOOGLE,
+        policy_name=policy_name,
+        tau_ns=kw.pop("tau_ns", 1000.0),
+        policy_args=tuple(sorted(kwargs.items())),
+        **kw,
+    )
+    res = run_surgery_ler(cfg, make_policy(policy_name, **kwargs), SHOTS, SEED)
+    return res.estimates[1 if joint else 0].rate
+
+
+@pytest.mark.slow
+def test_passive_worse_than_ideal():
+    assert _ler("passive") > _ler("ideal")
+
+
+@pytest.mark.slow
+def test_active_between_ideal_and_passive():
+    ideal = _ler("ideal", joint=False)
+    active = _ler("active", joint=False)
+    passive = _ler("passive", joint=False)
+    assert ideal <= active * 1.2
+    assert active <= passive * 1.15  # active never loses meaningfully
+
+
+@pytest.mark.slow
+def test_slack_hurts_more_when_larger():
+    small = _ler("passive", tau_ns=250.0)
+    large = _ler("passive", tau_ns=1000.0)
+    assert large >= small * 0.9  # monotone up to shot noise
+
+
+@pytest.mark.slow
+def test_lagging_patch_unaffected_by_leading_slack():
+    """The slack idles P; the P' observable must not degrade."""
+    cfg_i = SurgeryLerConfig(distance=3, hardware=GOOGLE, policy_name="ideal", tau_ns=0.0)
+    cfg_p = SurgeryLerConfig(distance=3, hardware=GOOGLE, policy_name="passive", tau_ns=1000.0)
+    ideal = run_surgery_ler(cfg_i, make_policy("ideal"), SHOTS, SEED).estimates[2].rate
+    passive = run_surgery_ler(cfg_p, make_policy("passive"), SHOTS, SEED).estimates[2].rate
+    assert passive < ideal * 1.5 + 2e-3
+
+
+@pytest.mark.slow
+def test_hybrid_runs_fewer_idle_ns_than_active():
+    t_pp = GOOGLE.cycle_time_ns + 225.0
+    cfg_h = SurgeryLerConfig(
+        distance=3, hardware=GOOGLE, policy_name="hybrid", tau_ns=1000.0, t_pp_ns=t_pp,
+        policy_args=(("eps_ns", 400.0), ("max_rounds", 100)),
+    )
+    res = run_surgery_ler(
+        cfg_h, make_policy("hybrid", eps_ns=400.0, max_rounds=100), 2000, SEED
+    )
+    assert res.plan_summary["idle_ns"] < 400.0
+    assert res.plan_summary["extra_rounds_p"] >= 1

@@ -1,0 +1,128 @@
+"""Lookup-table and hierarchical decoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import (
+    HierarchicalDecoder,
+    LookupTableDecoder,
+    MWPMDecoder,
+    build_matching_graph,
+    lut_entry_bytes,
+    max_entries_for_budget,
+    measure_decoder_latencies,
+)
+from repro.stab.dem import DemError, DetectorErrorModel
+
+
+def _chain_graph(n=3):
+    errors = [DemError(0.05, (0,), (0,))]
+    for i in range(n - 1):
+        errors.append(DemError(0.05, (i, i + 1), ()))
+    errors.append(DemError(0.05, (n - 1,), ()))
+    return build_matching_graph(
+        DetectorErrorModel(
+            errors=errors,
+            num_detectors=n,
+            num_observables=1,
+            detector_coords=[()] * n,
+            detector_basis=["Z"] * n,
+        )
+    )
+
+
+def test_entry_size_model():
+    assert lut_entry_bytes(8, 1) == 2
+    assert lut_entry_bytes(1, 1) == 1
+    assert max_entries_for_budget(1024, 8, 1) == 512
+
+
+def test_lut_contains_trivial_syndrome():
+    lut = LookupTableDecoder(_chain_graph(), max_errors=1)
+    hit, mask = lut.lookup(np.zeros(3, dtype=bool))
+    assert hit and mask == 0
+
+
+def test_lut_single_errors_exact():
+    g = _chain_graph()
+    lut = LookupTableDecoder(g, max_errors=1)
+    for e in range(g.num_edges):
+        syndrome = np.zeros(3, dtype=bool)
+        for node in (int(g.edge_u[e]), int(g.edge_v[e])):
+            if node < 3:
+                syndrome[node] ^= True
+        hit, mask = lut.lookup(syndrome)
+        assert hit
+        assert mask == int(g.edge_obs[e])
+
+
+def test_lut_miss_behaviour():
+    lut = LookupTableDecoder(_chain_graph(), max_errors=1)
+    # weight-2 non-adjacent syndrome is not in a max_errors=1 table
+    syndrome = np.array([True, False, True])
+    hit, _ = lut.lookup(syndrome)
+    assert not hit
+    with pytest.raises(KeyError):
+        lut.decode(syndrome)
+
+
+def test_lut_prefers_lower_weight_correction():
+    g = _chain_graph()
+    full = LookupTableDecoder(g, max_errors=3)
+    # syndrome of a single boundary error must decode to that single error
+    syndrome = np.array([True, False, False])
+    hit, mask = full.lookup(syndrome)
+    assert hit and mask == 1
+
+
+def test_entry_budget_truncates_table():
+    g = _chain_graph()
+    small = LookupTableDecoder(g, max_errors=3, max_entries=4)
+    assert small.num_entries <= 4
+    assert small.size_bytes() <= 4 * lut_entry_bytes(3, 1)
+
+
+def test_hierarchical_hit_and_miss_latencies():
+    g = _chain_graph()
+    h = HierarchicalDecoder(
+        g,
+        lut_size_bytes=1024,
+        lut_max_errors=1,
+        hit_latency_ns=20.0,
+        miss_latencies_ns=np.array([1000.0]),
+    )
+    dets = np.array(
+        [
+            [False, False, False],  # hit
+            [True, False, True],  # miss (needs 2 errors)
+        ]
+    )
+    out, stats = h.decode_batch(dets, rng=0)
+    assert stats.shots == 2
+    assert stats.hits == 1
+    assert stats.hit_rate == 0.5
+    assert stats.total_latency_ns == pytest.approx(1020.0)
+    assert out.shape == (2, 1)
+
+
+def test_hierarchical_predictions_match_slow_decoder_on_miss():
+    g = _chain_graph()
+    slow = MWPMDecoder(g)
+    h = HierarchicalDecoder(
+        g, lut_size_bytes=8, lut_max_errors=1, miss_latencies_ns=np.array([500.0]),
+        slow_decoder=slow,
+    )
+    syndrome = np.array([[True, False, True]])
+    out, stats = h.decode_batch(syndrome, rng=0)
+    assert stats.hits == 0
+    assert bool(out[0, 0]) == bool(slow.decode(syndrome[0]) & 1)
+
+
+def test_measure_decoder_latencies_positive():
+    g = _chain_graph()
+    dec = MWPMDecoder(g)
+    rng = np.random.default_rng(2)
+    dets = rng.random((50, 3)) < 0.3
+    lat = measure_decoder_latencies(dec, dets, max_samples=20)
+    assert lat.shape == (20,)
+    assert (lat > 0).all()

@@ -1,0 +1,183 @@
+"""Synchronization microarchitecture tests (Fig. 12): tables, engine, controller."""
+
+import pytest
+
+from repro.core import (
+    PatchCounterTable,
+    PatchMetadataTable,
+    QECController,
+    SynchronizationEngine,
+)
+
+
+def _tables(cycles):
+    meta = PatchMetadataTable()
+    counters = PatchCounterTable(meta)
+    for pid, cyc in cycles.items():
+        meta.add(pid, cyc)
+        counters.activate(pid)
+    return meta, counters
+
+
+def test_metadata_table_basics():
+    meta = PatchMetadataTable()
+    meta.add(0, 1900)
+    assert 0 in meta and meta.cycle_duration(0) == 1900
+    with pytest.raises(KeyError):
+        meta.add(0, 1000)
+    meta.remove(0)
+    assert 0 not in meta
+
+
+def test_counter_wraps_at_cycle():
+    meta, counters = _tables({0: 1000})
+    counters.tick(999)
+    assert counters.elapsed_in_cycle(0) == 999
+    counters.tick(1)
+    assert counters.elapsed_in_cycle(0) == 0
+    assert counters.completed_cycles(0) == 1
+    counters.tick(2500)
+    assert counters.elapsed_in_cycle(0) == 500
+    assert counters.completed_cycles(0) == 3
+
+
+def test_counter_valid_bit():
+    meta, counters = _tables({0: 1000})
+    counters.deactivate(0)
+    assert not counters.is_valid(0)
+    with pytest.raises(ValueError):
+        counters.elapsed_in_cycle(0)
+
+
+def test_counter_initial_phase():
+    meta, counters = _tables({0: 1000})
+    counters.activate(0, phase_ns=400)
+    assert counters.elapsed_in_cycle(0) == 400
+    with pytest.raises(ValueError):
+        counters.activate(0, phase_ns=1000)
+
+
+def test_counter_bits_sizing():
+    """10-12 bit counters suffice for 1000-2000 ns cycles at 1 GHz (Sec. 5)."""
+    assert PatchCounterTable.counter_bits(1000) == 10
+    assert PatchCounterTable.counter_bits(1900) == 11
+    assert PatchCounterTable.counter_bits(2000) == 11
+    assert 10 <= PatchCounterTable.counter_bits(1500) <= 12
+
+
+def test_engine_phase_calculator():
+    meta, counters = _tables({0: 1000, 1: 1000})
+    engine = SynchronizationEngine(meta, counters, policy="active")
+    counters.tick(300)
+    assert engine.time_to_cycle_end(0) == 700
+
+
+def test_engine_identifies_slowest_and_slack():
+    meta, counters = _tables({0: 1000, 1: 1000})
+    counters._rows[1].counter = 400  # patch 1 is 400 ns into its cycle
+    counters._rows[0].counter = 900  # patch 0 nearly done -> it leads
+    engine = SynchronizationEngine(meta, counters, policy="active", spread_rounds=4)
+    decision = engine.synchronize([0, 1])
+    assert decision.slowest_patch == 1
+    assert decision.max_slack_ns == 500
+    d0 = decision.directives[0]
+    assert d0.policy == "active"
+    assert d0.total_idle_ns == pytest.approx(500.0)
+    assert decision.directives[1].policy == "none"
+
+
+def test_engine_passive_policy():
+    meta, counters = _tables({0: 1000, 1: 1000})
+    counters._rows[0].counter = 900
+    counters._rows[1].counter = 400
+    engine = SynchronizationEngine(meta, counters, policy="passive")
+    d = engine.synchronize([0, 1]).directives[0]
+    assert d.policy == "passive"
+    assert d.spread_rounds == 1
+    assert d.total_idle_ns == pytest.approx(500.0)
+
+
+def test_engine_auto_selects_hybrid_for_unequal_cycles():
+    meta, counters = _tables({0: 1000, 1: 1325})
+    counters._rows[0].counter = 500
+    counters._rows[1].counter = 325
+    engine = SynchronizationEngine(meta, counters, policy="auto", hybrid_max_rounds=5)
+    decision = engine.synchronize([0, 1])
+    d = decision.directives[0]
+    assert d.policy in ("hybrid", "active")
+    if d.policy == "hybrid":
+        assert d.extra_rounds >= 1
+        assert d.total_idle_ns < 400.0
+
+
+def test_engine_auto_falls_back_to_active_for_equal_cycles():
+    meta, counters = _tables({0: 1000, 1: 1000})
+    counters._rows[0].counter = 700  # patch 0 has 300 ns left -> it lags
+    engine = SynchronizationEngine(meta, counters, policy="auto")
+    decision = engine.synchronize([0, 1])
+    assert decision.slowest_patch == 0
+    assert decision.directives[1].policy == "active"
+    assert decision.directives[1].total_idle_ns == pytest.approx(300.0)
+
+
+def test_engine_requires_valid_counters():
+    meta, counters = _tables({0: 1000, 1: 1000})
+    counters.deactivate(1)
+    engine = SynchronizationEngine(meta, counters)
+    with pytest.raises(ValueError):
+        engine.synchronize([0, 1])
+    with pytest.raises(ValueError):
+        engine.synchronize([0])
+
+
+def test_k_patch_synchronization():
+    cycles = {i: 1000 for i in range(5)}
+    meta, counters = _tables(cycles)
+    for i in range(5):
+        counters._rows[i].counter = 150 * i
+    engine = SynchronizationEngine(meta, counters, policy="active")
+    decision = engine.synchronize(list(range(5)))
+    # patch with the largest remaining time = smallest counter > 0
+    assert decision.slowest_patch == 1
+    idles = {pid: d.total_idle_ns for pid, d in decision.directives.items()}
+    assert idles[1] == 0.0
+    assert max(idles.values()) == decision.max_slack_ns
+
+
+# --- controller ----------------------------------------------------------------
+
+
+def test_controller_aligns_equal_cycle_patches():
+    ctrl = QECController(policy="active")
+    ctrl.add_patch(0, 1000)
+    ctrl.add_patch(1, 1000, phase_ns=0)
+    ctrl.advance(900)
+    # desynchronize patch 1 by retiring/re-adding with a phase
+    ctrl.retire_patch(1)
+    ctrl.metadata.remove(1)
+    ctrl.metadata.add(1, 1000)
+    ctrl.counters.activate(1, phase_ns=400)
+    ctrl.processes[1] = type(ctrl.processes[0])(patch_id=1, cycle_ns=1000,
+                                                cycle_start_ns=ctrl.now_ns - 400)
+    record = ctrl.merge([0, 1])
+    assert record.aligned_start_ns >= ctrl.now_ns
+    assert record.decision.max_slack_ns > 0
+
+
+def test_controller_merge_invariant_hybrid():
+    ctrl = QECController(policy="auto")
+    ctrl.add_patch(0, 1000)
+    ctrl.add_patch(1, 1325)
+    ctrl.advance(700)
+    record = ctrl.merge([0, 1])
+    # alignment invariant is asserted inside merge(); check the log too
+    assert ctrl.merge_log[-1] is record
+    assert record.patch_ids == (0, 1)
+
+
+def test_controller_round_tracking():
+    ctrl = QECController()
+    ctrl.add_patch(0, 1000)
+    ctrl.advance(3500)
+    assert ctrl.processes[0].rounds_completed == 3
+    assert ctrl.counters.elapsed_in_cycle(0) == 500

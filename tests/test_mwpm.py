@@ -1,0 +1,86 @@
+"""Exact MWPM decoder tests."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import MWPMDecoder, build_matching_graph
+from repro.stab.dem import DemError, DetectorErrorModel
+
+
+def _graph(errors, ndet, nobs=1):
+    return build_matching_graph(
+        DetectorErrorModel(
+            errors=[DemError(p, d, o) for p, d, o in errors],
+            num_detectors=ndet,
+            num_observables=nobs,
+            detector_coords=[()] * ndet,
+            detector_basis=["Z"] * ndet,
+        )
+    )
+
+
+def test_empty_syndrome():
+    g = _graph([(0.1, (0, 1), ())], 2)
+    assert MWPMDecoder(g).decode(np.zeros(2, dtype=bool)) == 0
+
+
+def test_pairs_matched_along_shortest_path():
+    # chain of 4 detectors; defects at the ends must match through the middle
+    g = _graph(
+        [
+            (0.1, (0, 1), (0,)),
+            (0.1, (1, 2), ()),
+            (0.1, (2, 3), (0,)),
+            (0.001, (0,), ()),
+            (0.001, (3,), ()),
+        ],
+        4,
+    )
+    dec = MWPMDecoder(g)
+    syndrome = np.array([True, False, False, True])
+    # path 0-1-2-3 flips the observable twice -> prediction 0
+    assert dec.decode(syndrome) == 0
+
+
+def test_boundary_matching_when_cheaper():
+    g = _graph(
+        [
+            (0.001, (0, 1), ()),  # expensive internal edge
+            (0.4, (0,), (0,)),  # cheap boundary edges
+            (0.4, (1,), ()),
+        ],
+        2,
+    )
+    dec = MWPMDecoder(g)
+    # both defects go to the boundary; only one crosses the observable
+    assert dec.decode(np.array([True, True])) == 1
+
+
+def test_odd_defect_count_uses_boundary():
+    g = _graph([(0.1, (0, 1), (0,)), (0.2, (0,), ()), (0.2, (1,), (0,))], 2)
+    dec = MWPMDecoder(g)
+    assert dec.decode(np.array([True, False])) in (0, 1)  # defined behaviour
+    # single defect at 1: boundary edge flips obs
+    assert dec.decode(np.array([False, True])) == 1
+
+
+def test_path_observable_parity_accumulates():
+    g = _graph(
+        [
+            (0.1, (0, 1), (0,)),
+            (0.1, (1, 2), (0,)),
+        ],
+        3,
+    )
+    dec = MWPMDecoder(g)
+    # defects at 0 and 2: path crosses two obs-flipping edges -> cancel
+    assert dec.decode(np.array([True, False, True])) == 0
+
+
+def test_decode_batch_shape():
+    g = _graph([(0.1, (0, 1), (0,)), (0.1, (0,), ()), (0.1, (1,), ())], 2)
+    dec = MWPMDecoder(g)
+    rng = np.random.default_rng(1)
+    dets = rng.random((20, 2)) < 0.5
+    out = dec.decode_batch(dets)
+    assert out.shape == (20, 1)

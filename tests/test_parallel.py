@@ -1,0 +1,50 @@
+"""Parallel sweep-runner tests."""
+
+import pytest
+
+from repro.experiments.parallel import SweepTask, merge_results, run_sweep_parallel
+from repro.experiments.ler import SurgeryLerConfig
+from repro.experiments.stats import RateEstimate
+from repro.noise import GOOGLE
+
+
+def _task(seed, shots=1500, policy="passive"):
+    cfg = SurgeryLerConfig(
+        distance=2, hardware=GOOGLE, policy_name=policy, tau_ns=500.0
+    )
+    return SweepTask(
+        config=cfg, policy_name=policy, policy_kwargs=(), shots=shots, seed=seed
+    )
+
+
+def test_serial_execution():
+    results = run_sweep_parallel([_task(1), _task(2)], max_workers=1)
+    assert len(results) == 2
+    assert all(len(r.estimates) == 3 for r in results)
+
+
+def test_parallel_matches_serial():
+    tasks = [_task(7), _task(8)]
+    serial = run_sweep_parallel(tasks, max_workers=1)
+    parallel = run_sweep_parallel(tasks, max_workers=2)
+    for a, b in zip(serial, parallel):
+        assert [e.successes for e in a.estimates] == [e.successes for e in b.estimates]
+
+
+def test_merge_results_pools_batches():
+    batches = run_sweep_parallel([_task(1), _task(2), _task(3)], max_workers=1)
+    merged = merge_results(batches)
+    assert merged[0].trials == 4500
+    assert merged[0].successes == sum(b.estimates[0].successes for b in batches)
+
+
+def test_merge_rejects_mixed_configs():
+    a = run_sweep_parallel([_task(1)], max_workers=1)[0]
+    b = run_sweep_parallel([_task(2, policy="active")], max_workers=1)[0]
+    with pytest.raises(ValueError):
+        merge_results([a, b])
+
+
+def test_empty_task_list():
+    assert run_sweep_parallel([]) == []
+    assert merge_results([]) == []

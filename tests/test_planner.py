@@ -1,0 +1,78 @@
+"""k-patch synchronization planner tests (Sec. 4.3)."""
+
+import pytest
+
+from repro.core import PatchState, plan_k_patch_sync
+
+
+def _patches(specs):
+    return [PatchState(patch_id=i, cycle_ns=c, elapsed_ns=e) for i, (c, e) in enumerate(specs)]
+
+
+def test_patch_state_validation():
+    with pytest.raises(ValueError):
+        PatchState(patch_id=0, cycle_ns=1000, elapsed_ns=1000)
+    p = PatchState(patch_id=0, cycle_ns=1000, elapsed_ns=0)
+    assert p.remaining_ns == 0
+
+
+def test_needs_at_least_two_patches():
+    with pytest.raises(ValueError):
+        plan_k_patch_sync(_patches([(1000, 0)]))
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        plan_k_patch_sync(_patches([(1000, 0), (1000, 100)]), policy="bogus")
+
+
+def test_slowest_patch_identified():
+    plan = plan_k_patch_sync(_patches([(1000, 900), (1000, 100), (1000, 500)]))
+    # patch 1 has 900 ns remaining -> slowest
+    assert plan.slowest_patch == 1
+    assert len(plan.directives) == 2
+
+
+def test_active_slack_values():
+    plan = plan_k_patch_sync(_patches([(1000, 900), (1000, 100)]), policy="active")
+    d = plan.directives[0]
+    assert d.patch_id == 0
+    assert d.slack_ns == 800
+    assert d.idle_ns == 800
+    assert plan.max_slack_ns == 800
+
+
+def test_synchronized_patch_gets_none_directive():
+    plan = plan_k_patch_sync(_patches([(1000, 500), (1000, 500)]))
+    assert plan.directives[0].policy == "none"
+    assert plan.total_idle_ns == 0
+
+
+def test_hybrid_uses_extra_rounds_for_unequal_cycles():
+    # P cycle 1000 elapsed 800 (200 left), slowest cycle 1325 elapsed 200
+    # (1125 left): slack 925; (925 - z*1000) mod 1325 < eps for some z <= 5
+    plan = plan_k_patch_sync(
+        _patches([(1000, 800), (1325, 200)]), policy="hybrid", eps_ns=400
+    )
+    d = plan.directives[0]
+    assert d.policy in ("hybrid", "active")
+    if d.policy == "hybrid":
+        assert d.idle_ns < 400
+        assert d.extra_rounds >= 1
+        # verify the alignment arithmetic directly
+        assert (d.slack_ns - d.extra_rounds * 1000 - d.idle_ns) % 1325 == 0
+
+
+def test_hybrid_falls_back_for_equal_cycles():
+    plan = plan_k_patch_sync(
+        _patches([(1000, 800), (1000, 200)]), policy="hybrid", eps_ns=50
+    )
+    assert plan.directives[0].policy == "active"
+
+
+def test_many_patches_all_get_directives():
+    specs = [(1000 + 25 * (i % 4), (37 * i) % 900) for i in range(50)]
+    plan = plan_k_patch_sync(_patches(specs), policy="hybrid")
+    assert len(plan.directives) == 49
+    for d in plan.directives:
+        assert d.slack_ns >= 0

@@ -1,0 +1,120 @@
+"""Synchronization-policy tests: idle accounting and plan structure."""
+
+import pytest
+
+from repro.core import (
+    ActiveIntraPolicy,
+    ActivePolicy,
+    ExtraRoundsPolicy,
+    HybridPolicy,
+    IdealPolicy,
+    PassivePolicy,
+    PolicyNotApplicableError,
+    SyncScenario,
+    make_policy,
+)
+
+
+def _scenario(tau=1000.0, t_p=1000.0, t_pp=1000.0, rounds=6):
+    return SyncScenario(t_p_ns=t_p, t_pp_ns=t_pp, tau_ns=tau, base_rounds=rounds)
+
+
+def test_ideal_plan_has_no_idle():
+    plan = IdealPolicy().plan(_scenario())
+    assert plan.idle_ns == 0.0
+    assert plan.timeline_p.total_idle_ns == 0.0
+    assert plan.timeline_p.num_rounds == 6
+
+
+def test_passive_puts_all_slack_at_the_end():
+    plan = PassivePolicy().plan(_scenario(tau=800.0))
+    assert plan.timeline_p.final_idle_ns == 800.0
+    assert all(r.total_ns == 0 for r in plan.timeline_p.rounds)
+    assert plan.idle_ns == 800.0
+
+
+def test_active_distributes_evenly_before_rounds():
+    plan = ActivePolicy().plan(_scenario(tau=600.0, rounds=6))
+    assert all(r.pre_ns == pytest.approx(100.0) for r in plan.timeline_p.rounds)
+    assert plan.timeline_p.final_idle_ns == 0.0
+    assert plan.timeline_p.total_idle_ns == pytest.approx(600.0)
+
+
+def test_active_after_placement_conserves_slack():
+    plan = ActivePolicy(placement="after").plan(_scenario(tau=600.0, rounds=6))
+    assert plan.timeline_p.total_idle_ns == pytest.approx(600.0)
+    assert plan.timeline_p.rounds[0].pre_ns == 0.0
+    assert plan.timeline_p.final_idle_ns == pytest.approx(100.0)
+
+
+def test_active_placement_validated():
+    with pytest.raises(ValueError):
+        ActivePolicy(placement="middle")
+
+
+def test_active_intra_targets_last_round():
+    plan = ActiveIntraPolicy().plan(_scenario(tau=500.0, rounds=4))
+    intra = [r.intra_ns for r in plan.timeline_p.rounds]
+    assert intra == [0.0, 0.0, 0.0, 500.0]
+
+
+def test_extra_rounds_plan_counts():
+    plan = ExtraRoundsPolicy().plan(_scenario(tau=1000.0, t_pp=1200.0, rounds=4))
+    assert plan.extra_rounds_p == 5
+    assert plan.extra_rounds_pp == 5
+    assert plan.timeline_p.num_rounds == 4 + 5
+    assert plan.timeline_pp.num_rounds == 4 + 5
+    assert plan.idle_ns == 0.0
+    assert plan.timeline_p.total_idle_ns == 0.0
+
+
+def test_extra_rounds_raises_when_impossible():
+    with pytest.raises(PolicyNotApplicableError):
+        ExtraRoundsPolicy().plan(_scenario(tau=500.0, t_pp=1200.0))
+    with pytest.raises(PolicyNotApplicableError):
+        ExtraRoundsPolicy().plan(_scenario(tau=500.0, t_pp=1000.0))
+
+
+def test_hybrid_plan_residual_distribution():
+    plan = HybridPolicy(eps_ns=400.0, max_rounds=100).plan(
+        _scenario(tau=1000.0, t_pp=1325.0, rounds=6)
+    )
+    assert plan.extra_rounds_p == 4
+    assert plan.idle_ns == 300
+    rounds_p = plan.timeline_p.num_rounds
+    assert rounds_p == 6 + 4
+    assert plan.timeline_p.total_idle_ns == pytest.approx(300.0)
+
+
+def test_hybrid_raises_when_no_solution():
+    with pytest.raises(PolicyNotApplicableError):
+        HybridPolicy(eps_ns=400.0).plan(_scenario(tau=500.0, t_pp=1000.0))
+
+
+def test_lagging_patch_gets_cycle_extension():
+    plan = ActivePolicy().plan(_scenario(t_pp=1150.0))
+    assert all(r.intra_ns == pytest.approx(150.0) for r in plan.timeline_pp.rounds)
+    plan_eq = ActivePolicy().plan(_scenario(t_pp=1000.0))
+    assert all(r.intra_ns == 0.0 for r in plan_eq.timeline_pp.rounds)
+
+
+def test_make_policy_registry():
+    assert isinstance(make_policy("passive"), PassivePolicy)
+    assert isinstance(make_policy("hybrid", eps_ns=200.0), HybridPolicy)
+    with pytest.raises(ValueError):
+        make_policy("bogus")
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        SyncScenario(t_p_ns=0, t_pp_ns=1000, tau_ns=0, base_rounds=4)
+    with pytest.raises(ValueError):
+        SyncScenario(t_p_ns=1000, t_pp_ns=1000, tau_ns=-1, base_rounds=4)
+    with pytest.raises(ValueError):
+        SyncScenario(t_p_ns=1000, t_pp_ns=1000, tau_ns=0, base_rounds=0)
+
+
+def test_scenario_normalized_tau():
+    s = SyncScenario(t_p_ns=1000, t_pp_ns=1200, tau_ns=2500, base_rounds=4)
+    assert s.normalized_tau() == pytest.approx(100.0)
+    assert s.cycle_extension_ns == pytest.approx(200.0)

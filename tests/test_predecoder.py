@@ -1,0 +1,81 @@
+"""Predecoder tests: locality, accuracy preservation, offload statistics."""
+
+import numpy as np
+import pytest
+
+from repro.codes import memory_experiment
+from repro.decoders import UnionFindDecoder, build_matching_graph
+from repro.decoders.predecoder import PredecodedDecoder, Predecoder
+from repro.stab import DemSampler, circuit_to_dem
+from repro.stab.dem import DemError, DetectorErrorModel
+
+
+def _chain_graph(n=4):
+    errors = [DemError(0.05, (0,), (0,))]
+    for i in range(n - 1):
+        errors.append(DemError(0.05, (i, i + 1), ()))
+    errors.append(DemError(0.05, (n - 1,), ()))
+    return build_matching_graph(
+        DetectorErrorModel(
+            errors=errors,
+            num_detectors=n,
+            num_observables=1,
+            detector_coords=[()] * n,
+            detector_basis=["Z"] * n,
+        )
+    )
+
+
+def test_isolated_pair_removed():
+    g = _chain_graph()
+    pre = Predecoder(g)
+    syndrome = np.array([False, True, True, False])
+    residual, mask, removed = pre.apply(syndrome)
+    assert removed == 2
+    assert not residual.any()
+    assert mask == 0  # interior edge carries no observable
+
+
+def test_lonely_boundary_defect_removed():
+    g = _chain_graph()
+    pre = Predecoder(g)
+    syndrome = np.array([True, False, False, False])
+    residual, mask, removed = pre.apply(syndrome)
+    assert removed == 1
+    assert not residual.any()
+    assert mask == 1  # the left boundary edge flips the observable
+
+
+def test_ambiguous_cluster_left_for_global_decoder():
+    g = _chain_graph()
+    pre = Predecoder(g)
+    syndrome = np.array([True, True, True, False])  # 3 in a row: ambiguous
+    residual, mask, removed = pre.apply(syndrome)
+    assert residual.sum() >= 1  # something survives for the slow decoder
+
+
+def test_predecoded_matches_plain_decoder_accuracy(quiet_noise):
+    art = memory_experiment(3, 3, quiet_noise)
+    dem = circuit_to_dem(art.circuit)
+    g = build_matching_graph(dem, basis="Z")
+    det, obs = DemSampler(dem).sample(30000, rng=2)
+    plain = UnionFindDecoder(g)
+    wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
+    ler_plain = float((plain.decode_batch(det)[:, :1] ^ obs).mean())
+    ler_wrapped = float((wrapped.decode_batch(det)[:, :1] ^ obs).mean())
+    # local pairs are optimal moves at low p: accuracy within a small factor
+    assert ler_wrapped <= max(2.0 * ler_plain, ler_plain + 5e-4)
+
+
+def test_offload_statistics(quiet_noise):
+    art = memory_experiment(3, 3, quiet_noise)
+    dem = circuit_to_dem(art.circuit)
+    g = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(5000, rng=3)
+    wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
+    wrapped.decode_batch(det)
+    stats = wrapped.stats
+    assert stats.shots == 5000
+    # at p=1e-3 almost every nontrivial shot is a single isolated pair
+    assert stats.removal_fraction > 0.5
+    assert stats.offload_fraction > 0.9

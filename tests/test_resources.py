@@ -1,0 +1,102 @@
+"""Resource-estimator and sync-estimate tests."""
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    LogicalCircuit,
+    estimate_resources,
+    ghz,
+    max_concurrent_cnots,
+    program_ler_increase,
+    qft,
+    syncs_per_cycle_table,
+    t_count_for_rotation,
+)
+
+
+def test_rotation_synthesis_formula():
+    assert t_count_for_rotation(1e-3) == math.ceil(0.53 * math.log2(1e3) + 5.3)
+    assert t_count_for_rotation(1e-6) > t_count_for_rotation(1e-3)
+    with pytest.raises(ValueError):
+        t_count_for_rotation(0.0)
+
+
+def test_t_counting_rules():
+    c = LogicalCircuit(3)
+    c.t(0)
+    c.tdg(1)
+    c.ccx(0, 1, 2)
+    c.rz(0, 0.3)
+    res = estimate_resources(c, rotation_error_budget=1e-3)
+    assert res.toffoli_count == 1
+    assert res.rotation_count == 1
+    assert res.t_count == 2 + 7 + t_count_for_rotation(1e-3)
+
+
+def test_clifford_rotations_cost_nothing():
+    c = LogicalCircuit(1)
+    c.rz(0, math.pi)
+    c.rz(0, math.pi / 2)
+    res = estimate_resources(c)
+    assert res.t_count == 0
+    assert res.logical_timesteps == 0
+
+
+def test_rotation_budget_split():
+    one = LogicalCircuit(1)
+    one.rz(0, 0.3)
+    many = LogicalCircuit(1)
+    for _ in range(100):
+        many.rz(0, 0.3)
+    r1 = estimate_resources(one, rotation_error_budget=1e-3)
+    r100 = estimate_resources(many, rotation_error_budget=1e-3)
+    # tighter per-rotation budget -> more T per rotation
+    assert r100.t_count > 100 * r1.t_count / 2
+    assert r100.t_count / 100 > r1.t_count - 1
+
+
+def test_total_cycles_scale_with_distance():
+    c = qft(6)
+    r11 = estimate_resources(c, code_distance=11)
+    r15 = estimate_resources(c, code_distance=15)
+    assert r15.total_cycles == r15.logical_timesteps * 15
+    assert r15.total_cycles > r11.total_cycles
+    assert r11.syncs_per_cycle > r15.syncs_per_cycle
+
+
+def test_ghz_needs_no_synchronizing_magic():
+    res = estimate_resources(ghz(8))
+    assert res.t_count == 0
+    assert res.syncs_per_cycle == 0.0
+
+
+def test_fig3c_table_shape():
+    table = syncs_per_cycle_table(["qft-80", "ising-98"])
+    names = [t.name for t in table]
+    assert names == ["qft-80", "ising-98"]
+    rates = {t.name: t.syncs_per_cycle for t in table}
+    # qft is the paper's most synchronization-hungry workload
+    assert rates["qft-80"] > rates["ising-98"] > 0
+    # the paper's range: roughly one to eleven per cycle
+    assert 0.05 < rates["ising-98"] < 15
+    assert 1 < rates["qft-80"] < 15
+
+
+def test_program_ler_increase_model():
+    assert program_ler_increase(0.0, 2e-3, 1e-3) == 1.0
+    assert program_ler_increase(1.0, 2e-3, 1e-3) == pytest.approx(2.0)
+    assert program_ler_increase(10.0, 2e-3, 1e-3) == pytest.approx(11.0)
+    assert program_ler_increase(10.0, 5e-4, 1e-3) == 1.0  # better than ideal clamps
+    with pytest.raises(ValueError):
+        program_ler_increase(1.0, 1e-3, 0.0)
+
+
+def test_max_concurrent_cnots():
+    c = LogicalCircuit(4)
+    c.cx(0, 1)
+    c.cx(2, 3)  # same layer
+    c.cx(1, 2)  # forced to next layer
+    assert max_concurrent_cnots(c) == 2
+    assert max_concurrent_cnots(ghz(5)) == 1

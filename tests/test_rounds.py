@@ -1,0 +1,101 @@
+"""Stabilizer-round emitter tests: layer structure, idle accounting."""
+
+import pytest
+
+from repro.codes import PatchLayout, QubitRegistry
+from repro.codes.rounds import StabilizerRoundEmitter
+from repro.noise import GOOGLE, NoiseModel
+from repro.stab import Circuit
+from repro.timing import RoundIdle
+
+
+@pytest.fixture
+def setup():
+    layout = PatchLayout(0, 2, 3, vertical_basis="X")
+    registry = QubitRegistry()
+    circuit = Circuit()
+    noise = NoiseModel(hardware=GOOGLE, p=1e-3)
+    emitter = StabilizerRoundEmitter(circuit, registry, noise)
+    patch_qubits = sorted(
+        {registry.data(c) for c in layout.data_coords()}
+        | {registry.ancilla(p.pos) for p in layout.plaquettes}
+    )
+    return layout, circuit, emitter, patch_qubits
+
+
+def test_round_has_four_cnot_layers(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    emitter.emit_round(layout.plaquettes, patch_qubits)
+    assert circuit.count("H") == 2 * 4  # 4 X-plaquettes, two H layers
+    cx_instructions = [i for i in circuit.instructions if i.name == "CX"]
+    assert len(cx_instructions) == 4
+    total_pairs = sum(len(i.targets) // 2 for i in cx_instructions)
+    # every plaquette contributes one CNOT per occupied slot
+    assert total_pairs == sum(p.weight for p in layout.plaquettes)
+
+
+def test_round_measures_every_plaquette_once(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    recs = emitter.emit_round(layout.plaquettes, patch_qubits)
+    assert set(recs) == {p.pos for p in layout.plaquettes}
+    assert len(set(recs.values())) == len(layout.plaquettes)
+    assert circuit.num_measurements == len(layout.plaquettes)
+
+
+def test_each_cnot_layer_touches_each_qubit_once(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    emitter.emit_round(layout.plaquettes, patch_qubits)
+    for inst in circuit.instructions:
+        if inst.name == "CX":
+            assert len(set(inst.targets)) == len(inst.targets)
+
+
+def test_idle_windows_match_layer_durations(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    emitter.emit_round(layout.plaquettes, patch_qubits)
+    hw = GOOGLE
+    idles = [i for i in circuit.instructions if i.name == "PAULI_CHANNEL_1"]
+    # layers: H, 4x CX, H, readout -> 7 idle windows on inactive qubits
+    assert len(idles) == 7
+    from repro.noise import idle_pauli_probs
+
+    expected_h = idle_pauli_probs(hw.time_1q_ns, hw.t1_ns, hw.t2_ns)
+    scale = emitter.noise.structural_idle_scale
+    assert idles[0].args[0] == pytest.approx(expected_h[0] * scale)
+    expected_read = idle_pauli_probs(
+        hw.time_readout_ns + hw.time_reset_ns, hw.t1_ns, hw.t2_ns
+    )
+    assert idles[-1].args[2] == pytest.approx(expected_read[2] * scale, rel=1e-9)
+
+
+def test_data_qubits_idle_through_readout(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    reg = emitter.registry
+    emitter.emit_round(layout.plaquettes, patch_qubits)
+    last_idle = [i for i in circuit.instructions if i.name == "PAULI_CHANNEL_1"][-1]
+    data_qubits = {reg.data(c) for c in layout.data_coords()}
+    assert set(last_idle.targets) == data_qubits
+
+
+def test_pre_idle_covers_whole_patch(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    emitter.emit_round(layout.plaquettes, patch_qubits, RoundIdle(pre_ns=333.0))
+    first = circuit.instructions[0]
+    assert first.name == "PAULI_CHANNEL_1"
+    assert list(first.targets) == patch_qubits
+
+
+def test_intra_idle_adds_six_gaps(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    emitter.emit_round(layout.plaquettes, patch_qubits, RoundIdle(intra_ns=600.0))
+    idles = [i for i in circuit.instructions if i.name == "PAULI_CHANNEL_1"]
+    whole_patch = [i for i in idles if list(i.targets) == patch_qubits]
+    assert len(whole_patch) == 6
+
+
+def test_measurement_record_order_is_position_sorted(setup):
+    layout, circuit, emitter, patch_qubits = setup
+    recs = emitter.emit_round(layout.plaquettes, patch_qubits)
+    ordered = sorted(recs, key=lambda pos: pos)
+    values = [recs[pos] for pos in ordered]
+    assert values == sorted(values)

@@ -1,0 +1,74 @@
+"""DEM-sampler tests: statistics, batching, reproducibility."""
+
+import numpy as np
+import pytest
+
+from repro.stab import DemSampler
+from repro.stab.dem import DemError, DetectorErrorModel
+
+
+def _dem(errors, ndet=3, nobs=1):
+    return DetectorErrorModel(
+        errors=[DemError(p, d, o) for p, d, o in errors],
+        num_detectors=ndet,
+        num_observables=nobs,
+        detector_coords=[()] * ndet,
+        detector_basis=["Z"] * ndet,
+    )
+
+
+def test_single_error_rate():
+    dem = _dem([(0.25, (0,), (0,))])
+    sampler = DemSampler(dem)
+    det, obs = sampler.sample(40000, rng=0)
+    assert det[:, 0].mean() == pytest.approx(0.25, abs=0.01)
+    assert obs[:, 0].mean() == pytest.approx(0.25, abs=0.01)
+    assert np.array_equal(det[:, 0], obs[:, 0])
+
+
+def test_two_errors_on_same_detector_xor():
+    dem = _dem([(0.3, (0,), ()), (0.3, (0,), (0,))])
+    # distinct signatures (observables differ) stay separate mechanisms
+    det, obs = DemSampler(dem).sample(60000, rng=1)
+    expected = 0.3 * 0.7 + 0.7 * 0.3
+    assert det[:, 0].mean() == pytest.approx(expected, abs=0.01)
+
+
+def test_zero_probability_never_fires():
+    dem = _dem([(0.0, (0,), (0,))])
+    det, obs = DemSampler(dem).sample(1000, rng=2)
+    assert det.sum() == 0 and obs.sum() == 0
+
+
+def test_high_probability_error():
+    dem = _dem([(0.95, (1,), ())])
+    det, _ = DemSampler(dem).sample(20000, rng=3)
+    assert det[:, 1].mean() == pytest.approx(0.95, abs=0.01)
+
+
+def test_batching_does_not_change_statistics():
+    dem = _dem([(0.1, (0, 1), (0,)), (0.05, (2,), ())])
+    sampler = DemSampler(dem)
+    det_a, _ = sampler.sample(30000, rng=7, batch_size=30000)
+    det_b, _ = sampler.sample(30000, rng=7, batch_size=512)
+    assert np.allclose(det_a.mean(axis=0), det_b.mean(axis=0), atol=0.01)
+
+
+def test_return_errors_matrix():
+    dem = _dem([(0.2, (0,), ()), (0.2, (1,), ())])
+    det, obs, err = DemSampler(dem).sample(5000, rng=4, return_errors=True)
+    assert err.shape == (5000, 2)
+    # detector outcomes must be exactly the error matrix columns here
+    assert np.array_equal(det[:, 0], err.toarray()[:, 0].astype(bool))
+
+
+def test_empty_model():
+    dem = _dem([])
+    det, obs = DemSampler(dem).sample(100, rng=5)
+    assert det.shape == (100, 3)
+    assert det.sum() == 0
+
+
+def test_num_errors_property():
+    dem = _dem([(0.1, (0,), ()), (0.2, (1,), ())])
+    assert DemSampler(dem).num_errors == 2

@@ -1,0 +1,122 @@
+"""Slack-arithmetic tests: Eq. (1) / Eq. (2) against the paper's numbers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import extra_rounds_solution, hybrid_solution, normalize_slack
+
+
+def test_fig10_values_exact():
+    """Figure 10 bar values, including the 'Not possible' configuration."""
+    expected = {
+        (1000, 1200, 500): None,
+        (1000, 1200, 1000): 5,
+        (1000, 1150, 500): 11,
+        (1000, 1150, 1000): 22,
+        (1000, 1325, 500): 26,
+        (1000, 1325, 1000): 52,
+        (1000, 1725, 500): 34,
+        (1000, 1725, 1000): 68,
+    }
+    for (tp, tpp, tau), m in expected.items():
+        sol = extra_rounds_solution(tp, tpp, tau, max_rounds=200)
+        if m is None:
+            assert sol is None, (tp, tpp, tau)
+        else:
+            assert sol is not None and sol.extra_rounds_p == m, (tp, tpp, tau)
+            assert sol.verify(tp, tpp, tau)
+
+
+def test_equal_cycles_cannot_use_extra_rounds():
+    assert extra_rounds_solution(1000, 1000, 500) is None
+
+
+def test_extra_rounds_bound_respected():
+    assert extra_rounds_solution(1000, 1725, 1000, max_rounds=10) is None
+
+
+def test_extra_rounds_invalid_inputs():
+    with pytest.raises(ValueError):
+        extra_rounds_solution(0, 1000, 100)
+    with pytest.raises(ValueError):
+        extra_rounds_solution(1000, 1000, -5)
+
+
+def test_table2_hybrid_solution():
+    """Table 2: T_P=1000, T_P'=1325, tau=1000, eps=400 -> z=4, idle=300 ns."""
+    sol = hybrid_solution(1000, 1325, 1000, 400)
+    assert sol is not None
+    assert sol.extra_rounds_p == 4
+    assert sol.residual_slack_ns == 300
+    assert sol.verify(1000, 1325, 1000, 400)
+
+
+def test_hybrid_smaller_eps_needs_more_rounds():
+    loose = hybrid_solution(1000, 1325, 1000, 400)
+    tight = hybrid_solution(1000, 1325, 1000, 100)
+    assert tight is not None and loose is not None
+    assert tight.extra_rounds_p >= loose.extra_rounds_p
+    assert tight.residual_slack_ns < 100
+
+
+def test_hybrid_no_solution_for_equal_cycles():
+    assert hybrid_solution(1000, 1000, 500, 400) is None
+
+
+def test_hybrid_bounded_search():
+    assert hybrid_solution(1000, 1001, 999, 1, max_rounds=3) is None
+
+
+def test_hybrid_invalid_inputs():
+    with pytest.raises(ValueError):
+        hybrid_solution(1000, 1325, 1000, 0)
+    with pytest.raises(ValueError):
+        hybrid_solution(-1, 1325, 1000, 100)
+
+
+def test_normalize_slack():
+    assert normalize_slack(2500, 1000) == 500
+    assert normalize_slack(999, 1000) == 999
+    with pytest.raises(ValueError):
+        normalize_slack(10, 0)
+
+
+@given(
+    tp=st.integers(500, 2000),
+    tpp=st.integers(500, 2000),
+    tau=st.integers(0, 2000),
+)
+def test_extra_rounds_solutions_always_verify(tp, tpp, tau):
+    sol = extra_rounds_solution(tp, tpp, tau, max_rounds=500)
+    if sol is not None:
+        assert sol.verify(tp, tpp, tau)
+        assert sol.extra_rounds_p >= 1
+        assert sol.extra_rounds_pp >= 0
+
+
+@given(
+    tp=st.integers(500, 2000),
+    tpp=st.integers(500, 2000),
+    tau=st.integers(0, 2000),
+    eps=st.integers(1, 500),
+)
+def test_hybrid_solutions_always_verify(tp, tpp, tau, eps):
+    sol = hybrid_solution(tp, tpp, tau, eps, max_rounds=500)
+    if sol is not None:
+        assert sol.verify(tp, tpp, tau, eps)
+        assert 0 <= sol.residual_slack_ns < eps
+
+
+@given(
+    tp=st.integers(500, 2000),
+    tpp=st.integers(501, 2000),
+    tau=st.integers(0, 2000),
+)
+def test_hybrid_residual_never_exceeds_pure_extra_rounds(tp, tpp, tau):
+    """With eps -> cycle time, hybrid z=1 always exists (residual < T_P')."""
+    if tp == tpp:
+        return
+    sol = hybrid_solution(tp, tpp, tau, eps_ns=max(tp, tpp) + 1, max_rounds=5)
+    assert sol is not None
+    assert sol.extra_rounds_p == 1

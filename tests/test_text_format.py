@@ -1,0 +1,81 @@
+"""Circuit text-format round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes import SurgerySpec, memory_experiment, surgery_experiment
+from repro.stab import Circuit, FrameSimulator
+from repro.stab.text import circuit_from_text, circuit_to_text
+
+
+def _equivalent(a: Circuit, b: Circuit) -> bool:
+    if len(a.instructions) != len(b.instructions):
+        return False
+    for x, y in zip(a.instructions, b.instructions):
+        if (x.name, x.targets, x.rec, x.basis, x.obs_index) != (
+            y.name,
+            y.targets,
+            y.rec,
+            y.basis,
+            y.obs_index,
+        ):
+            return False
+        if len(x.args) != len(y.args) or any(
+            abs(p - q) > 1e-12 for p, q in zip(x.args, y.args)
+        ):
+            return False
+        if len(x.coords) != len(y.coords):
+            return False
+    return True
+
+
+def test_simple_round_trip():
+    c = Circuit()
+    c.append("R", [0, 1])
+    c.append("X_ERROR", [0], [0.001])
+    c.append("CX", [0, 1])
+    m = c.append("MR", [1])
+    c.detector(m, coords=(1.0, 0.0), basis="Z")
+    m2 = c.append("M", [0])
+    c.observable_include(0, m2)
+    text = circuit_to_text(c)
+    parsed = circuit_from_text(text)
+    assert _equivalent(c, parsed)
+
+
+def test_memory_circuit_round_trip(ibm_noise):
+    art = memory_experiment(3, 2, ibm_noise)
+    parsed = circuit_from_text(circuit_to_text(art.circuit))
+    assert _equivalent(art.circuit, parsed)
+    assert parsed.num_detectors == art.circuit.num_detectors
+    assert parsed.num_observables == art.circuit.num_observables
+
+
+def test_surgery_circuit_round_trip_samples_identically(google_noise):
+    art = surgery_experiment(SurgerySpec(distance=2, noise=google_noise))
+    parsed = circuit_from_text(circuit_to_text(art.circuit))
+    det_a, obs_a = FrameSimulator(art.circuit).sample(2000, rng=5)
+    det_b, obs_b = FrameSimulator(parsed).sample(2000, rng=5)
+    assert np.array_equal(det_a, det_b)
+    assert np.array_equal(obs_a, obs_b)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    # a comment
+    R 0
+
+    M 0   # trailing comment
+    DETECTOR rec[0]
+    """
+    c = circuit_from_text(text)
+    assert c.num_detectors == 1
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        circuit_from_text("FROB 0")
+    with pytest.raises(ValueError):
+        circuit_from_text("lowercase 0")
+    with pytest.raises(ValueError):
+        circuit_from_text("OBSERVABLE_INCLUDE")

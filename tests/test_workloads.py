@@ -1,0 +1,177 @@
+"""Workload IR, generators, and QASM parser tests."""
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    LogicalCircuit,
+    PAPER_WORKLOADS,
+    QasmError,
+    build_workload,
+    ghz,
+    ising,
+    multiplier,
+    parse_qasm,
+    qft,
+    qpe,
+    shor,
+    wstate,
+)
+
+
+def test_ir_validation():
+    c = LogicalCircuit(2)
+    with pytest.raises(ValueError):
+        c.append("cx", (0, 0))
+    with pytest.raises(ValueError):
+        c.append("h", 5)
+    with pytest.raises(ValueError):
+        LogicalCircuit(0)
+
+
+def test_ir_depth():
+    c = LogicalCircuit(3)
+    c.h(0)
+    c.cx(0, 1)
+    c.cx(1, 2)
+    c.h(2)
+    assert c.depth() == 4
+    assert c.count("cx") == 2
+
+
+def test_rotation_kind_classification():
+    c = LogicalCircuit(1)
+    c.rz(0, math.pi)  # Clifford (Z)
+    c.rz(0, math.pi / 2)  # Clifford (S)
+    c.rz(0, math.pi / 4)  # T
+    c.rz(0, 0.123)  # needs synthesis
+    kinds = [g.rotation_kind() for g in c.gates]
+    assert kinds == ["clifford", "clifford", "t", "synth"]
+    with pytest.raises(ValueError):
+        c.gates[0].__class__(name="h", qubits=(0,)).rotation_kind()
+
+
+def test_qft_structure():
+    c = qft(5)
+    assert c.num_qubits == 5
+    assert c.count("h") == 5
+    assert c.count("cp") == 10  # n(n-1)/2
+    assert c.count("swap") == 2
+    assert c.count("measure") == 5
+
+
+def test_qpe_structure():
+    c = qpe(6)
+    assert c.num_qubits == 6
+    assert c.count("measure") == 5  # counting qubits only
+    assert c.count("cp") > 0
+
+
+def test_ising_structure():
+    c = ising(8, steps=2)
+    assert c.num_qubits == 8
+    assert c.count("rx") == 16
+    assert c.count("rzz") == 14
+
+
+def test_wstate_structure():
+    c = wstate(6)
+    assert c.num_qubits == 6
+    assert c.count("ry") == 10  # 2 per cascade step
+    assert c.count("x") == 1
+
+
+def test_multiplier_is_toffoli_heavy():
+    c = multiplier(3)
+    assert c.num_qubits == 13
+    assert c.count("ccx") > c.count("cx")
+
+
+def test_shor_is_rotation_heavy():
+    c = shor(15)
+    assert c.num_qubits == 2 * 4 + 5
+    assert c.count("cp") > 100
+
+
+def test_ghz_is_clifford_only():
+    from repro.workloads import estimate_resources
+
+    c = ghz(10)
+    res = estimate_resources(c)
+    assert res.t_count == 0
+    assert res.rotation_count == 0
+
+
+def test_paper_workloads_all_build():
+    for name in PAPER_WORKLOADS:
+        c = build_workload(name)
+        assert len(c.gates) > 0
+    with pytest.raises(ValueError):
+        build_workload("nope-1")
+
+
+# --- QASM parser ----------------------------------------------------------------
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+cp(pi/2) q[0], q[2];
+barrier q;
+measure q[0] -> c[0];
+measure q -> c;
+"""
+
+
+def test_parse_qasm_sample():
+    c = parse_qasm(SAMPLE)
+    assert c.num_qubits == 3
+    assert c.count("h") == 1
+    assert c.count("cx") == 1
+    assert c.count("rz") == 1
+    assert c.count("cp") == 1
+    assert c.count("measure") == 4  # one explicit + broadcast over 3
+    rz = next(g for g in c.gates if g.name == "rz")
+    assert rz.angle == pytest.approx(math.pi / 4)
+
+
+def test_parse_qasm_angle_expressions():
+    c = parse_qasm("qreg q[1]; rz(2*pi/8) q[0];")
+    assert c.gates[0].angle == pytest.approx(math.pi / 4)
+
+
+def test_parse_qasm_errors():
+    with pytest.raises(QasmError):
+        parse_qasm("h q[0];")  # no qreg
+    with pytest.raises(QasmError):
+        parse_qasm("qreg q[1]; frobnicate q[0];")
+    with pytest.raises(QasmError):
+        parse_qasm("qreg q[1]; h q[5];")
+    with pytest.raises(QasmError):
+        parse_qasm("qreg q[1]; rz(__import__) q[0];")
+
+
+def test_parse_qasm_round_trip_resources():
+    from repro.workloads import estimate_resources
+
+    direct = qft(4)
+    qasm_lines = ["OPENQASM 2.0;", "qreg q[4];", "creg c[4];"]
+    for g in direct.gates:
+        if g.name == "cp":
+            qasm_lines.append(f"cp({g.angle}) q[{g.qubits[0]}],q[{g.qubits[1]}];")
+        elif g.name == "h":
+            qasm_lines.append(f"h q[{g.qubits[0]}];")
+        elif g.name == "swap":
+            qasm_lines.append(f"swap q[{g.qubits[0]}],q[{g.qubits[1]}];")
+        elif g.name == "measure":
+            qasm_lines.append(f"measure q[{g.qubits[0]}] -> c[{g.qubits[0]}];")
+    parsed = parse_qasm("\n".join(qasm_lines))
+    a = estimate_resources(direct)
+    b = estimate_resources(parsed)
+    assert a.t_count == b.t_count
+    assert a.logical_timesteps == b.logical_timesteps
