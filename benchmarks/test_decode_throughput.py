@@ -1,0 +1,280 @@
+"""Decode-throughput microbenchmark: batch engine vs the seed per-shot loop.
+
+Measures union-find decoding of a d=5, p=1e-3 surface-code memory experiment
+(the workhorse configuration of every LER sweep) three ways:
+
+* ``seed_loop`` — a frozen, verbatim copy of the seed revision's per-shot
+  ``decode_batch`` (numpy-indexed hot path, python bit expansion).  Kept
+  here as a fixed yardstick so future PRs track the perf trajectory against
+  a stable reference rather than against last week's code.
+* ``per_shot`` — the current decoder driven one shot at a time
+  (``dedup=False``), isolating the hot-path speedups from the batching win.
+* ``dedup_engine`` — the :class:`~repro.decoders.batch.BatchDecodingEngine`
+  with syndrome dedup and the memo cache, as used by ``run_surgery_ler``.
+
+Writes ``benchmarks/results/decode_throughput.json`` with shots/sec for each
+mode, the dedup hit rate, and the speedups.  Scaling knobs:
+``REPRO_DECODE_BENCH_SHOTS`` (default 100_000) and
+``REPRO_DECODE_BENCH_BASELINE_SHOTS`` (default 20_000; the per-shot
+baselines are timed on a subset because their *rate* is shot-count
+independent, while dedup throughput legitimately grows with batch size).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.codes import memory_experiment
+from repro.decoders import BatchDecodingEngine, UnionFindDecoder, build_matching_graph
+from repro.noise import GOOGLE, NoiseModel
+from repro.stab import DemSampler, circuit_to_dem
+
+from _helpers import bench_seed, record, run_once
+
+
+# ---------------------------------------------------------------------------
+# frozen seed baseline (verbatim from the seed revision's UnionFindDecoder)
+# ---------------------------------------------------------------------------
+
+
+class _SeedUnionFindDecoder:
+    """The seed revision's decoder, frozen as the benchmark yardstick."""
+
+    def __init__(self, graph, *, weight_resolution: int = 16):
+        self.graph = graph
+        self._indptr, self._eids = graph.adjacency()
+        self._weights = graph.integer_weights(weight_resolution)
+        self._eu = graph.edge_u
+        self._ev = graph.edge_v
+        self._eobs = graph.edge_obs
+        self._boundary = graph.boundary_node
+
+    def decode_batch(self, detectors):
+        shots = detectors.shape[0]
+        nobs = self.graph.num_observables
+        out = np.zeros((shots, nobs), dtype=bool)
+        rows, cols = np.nonzero(detectors)
+        if rows.size == 0:
+            return out
+        starts = np.searchsorted(rows, np.arange(shots + 1))
+        for s in range(shots):
+            lo, hi = starts[s], starts[s + 1]
+            if lo == hi:
+                continue
+            mask = self._decode_defects(cols[lo:hi].tolist())
+            for o in range(nobs):
+                if mask >> o & 1:
+                    out[s, o] = True
+        return out
+
+    def _decode_defects(self, defects):
+        parent, rank, parity = {}, {}, {}
+        touches_boundary, members, growth = {}, {}, {}
+        solid = set()
+
+        def find(a):
+            root = a
+            while parent.get(root, root) != root:
+                root = parent[root]
+            while parent.get(a, a) != a:
+                parent[a], a = root, parent[a]
+            return root
+
+        def add_node(a):
+            if a not in parent:
+                parent[a] = a
+                rank[a] = 0
+                parity[a] = 0
+                touches_boundary[a] = a == self._boundary
+                members[a] = [a]
+            return find(a)
+
+        def union(a, b):
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return ra
+            if rank[ra] < rank[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            if rank[ra] == rank[rb]:
+                rank[ra] += 1
+            parity[ra] ^= parity[rb]
+            touches_boundary[ra] = touches_boundary[ra] or touches_boundary[rb]
+            members[ra].extend(members[rb])
+            return ra
+
+        for d in defects:
+            r = add_node(d)
+            parity[r] ^= 1
+
+        indptr, eids = self._indptr, self._eids
+        eu, ev, weights = self._eu, self._ev, self._weights
+
+        max_rounds = 4 * (self.graph.num_edges + 2)
+        for _ in range(max_rounds):
+            active_roots = {
+                find(d)
+                for d in defects
+                if parity[find(d)] == 1 and not touches_boundary[find(d)]
+            }
+            if not active_roots:
+                break
+            frontier = {}
+            for root in active_roots:
+                seen = set()
+                for node in members[root]:
+                    for e in eids[indptr[node] : indptr[node + 1]]:
+                        e = int(e)
+                        if e not in solid and e not in seen:
+                            seen.add(e)
+                            frontier[e] = frontier.get(e, 0) + 1
+            if not frontier:
+                break
+            step = min(
+                -((growth.get(e, 0) - int(weights[e])) // c) for e, c in frontier.items()
+            )
+            completed = []
+            for e, c in frontier.items():
+                g = growth.get(e, 0) + c * step
+                growth[e] = g
+                if g >= weights[e]:
+                    completed.append(e)
+            for e in completed:
+                if e in solid:
+                    continue
+                solid.add(e)
+                a, b = int(eu[e]), int(ev[e])
+                add_node(a)
+                add_node(b)
+                union(a, b)
+
+        return self._peel(defects, solid)
+
+    def _peel(self, defects, solid):
+        if not solid:
+            return 0
+        eu, ev, eobs = self._eu, self._ev, self._eobs
+        adj = {}
+        for e in solid:
+            a, b = int(eu[e]), int(ev[e])
+            adj.setdefault(a, []).append(e)
+            adj.setdefault(b, []).append(e)
+        visited = set()
+        order = []
+        nodes = sorted(adj, key=lambda n: 0 if n == self._boundary else 1)
+        for start in nodes:
+            if start in visited:
+                continue
+            visited.add(start)
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for e in adj[node]:
+                    other = int(ev[e]) if int(eu[e]) == node else int(eu[e])
+                    if other in visited:
+                        continue
+                    visited.add(other)
+                    order.append((other, node, e))
+                    stack.append(other)
+        defect_set = {}
+        for d in defects:
+            defect_set[d] = defect_set.get(d, 0) ^ 1
+        mask = 0
+        for node, parent_node, e in reversed(order):
+            if defect_set.get(node, 0):
+                mask ^= int(eobs[e])
+                defect_set[node] = 0
+                if parent_node != self._boundary:
+                    defect_set[parent_node] = defect_set.get(parent_node, 0) ^ 1
+        return mask
+
+
+# ---------------------------------------------------------------------------
+# the benchmark
+# ---------------------------------------------------------------------------
+
+
+def _best_rate(fn, shots: int, repeats: int):
+    """Best-of-N shots/sec (min wall time), plus the last run's result."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return shots / best, out
+
+
+def _bench_decode_throughput(shots: int, baseline_shots: int, seed: int) -> dict:
+    noise = NoiseModel(hardware=GOOGLE, p=1e-3, idle_scale=0.0)
+    art = memory_experiment(5, 5, noise)
+    dem = circuit_to_dem(art.circuit)
+    graph = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(shots, rng=seed)
+    sub = det[:baseline_shots]
+
+    seed_dec = _SeedUnionFindDecoder(graph)
+    seed_rate, seed_pred = _best_rate(
+        lambda: seed_dec.decode_batch(sub), sub.shape[0], repeats=2
+    )
+
+    current = UnionFindDecoder(graph)
+    loop_rate, loop_pred = _best_rate(
+        lambda: current.decode_batch(sub, dedup=False), sub.shape[0], repeats=2
+    )
+
+    decoder = UnionFindDecoder(graph)
+    state = {}
+
+    def _run_engine():
+        # fresh engine per repeat: each run decodes one full cold batch;
+        # no memo cache — it only pays across batches, and this is one batch
+        eng = BatchDecodingEngine(decoder, dedup=True, cache_size=0)
+        state["engine"] = eng
+        return eng.decode_batch(det)
+
+    engine_rate, engine_pred = _best_rate(_run_engine, det.shape[0], repeats=3)
+    engine = state["engine"]
+
+    assert np.array_equal(engine_pred[:baseline_shots], seed_pred), (
+        "dedup engine must reproduce the seed loop's predictions bit-for-bit"
+    )
+    assert np.array_equal(engine_pred[:baseline_shots], loop_pred)
+
+    stats = engine.stats
+    return {
+        "config": {"decoder": "unionfind", "distance": 5, "p": 1e-3, "shots": shots},
+        "seed_loop_shots_per_sec": seed_rate,
+        "per_shot_shots_per_sec": loop_rate,
+        "dedup_shots_per_sec": engine_rate,
+        "speedup_vs_seed_loop": engine_rate / seed_rate,
+        "speedup_vs_per_shot_loop": engine_rate / loop_rate,
+        "distinct_syndromes": stats.distinct_syndromes,
+        "decode_calls": stats.decode_calls,
+        "dedup_hit_rate": stats.dedup_hit_rate,
+    }
+
+
+def test_decode_throughput(benchmark):
+    shots = int(os.environ.get("REPRO_DECODE_BENCH_SHOTS", 100_000))
+    baseline_shots = min(
+        shots, int(os.environ.get("REPRO_DECODE_BENCH_BASELINE_SHOTS", 20_000))
+    )
+    row = run_once(
+        benchmark, _bench_decode_throughput, shots, baseline_shots, bench_seed()
+    )
+    print(
+        f"\nseed loop {row['seed_loop_shots_per_sec']:,.0f}/s   "
+        f"per-shot {row['per_shot_shots_per_sec']:,.0f}/s   "
+        f"dedup {row['dedup_shots_per_sec']:,.0f}/s   "
+        f"({row['speedup_vs_seed_loop']:.2f}x vs seed, "
+        f"hit rate {row['dedup_hit_rate']:.3f})"
+    )
+    record("decode_throughput", row)
+
+    assert row["dedup_hit_rate"] > 0.5
+    if shots >= 100_000:
+        # the acceptance bar: >= 5x over the seed per-shot loop at 100k shots
+        assert row["speedup_vs_seed_loop"] >= 5.0
+        assert row["speedup_vs_per_shot_loop"] > 1.5

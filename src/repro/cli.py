@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli run fig10
     python -m repro.cli run fig14 --shots 50000 --out results/
     python -m repro.cli run all --shots 20000
+    python -m repro.cli run fig14 --decode-workers 8      # sharded decoding
+    python -m repro.cli run fig14 --no-dedup              # reference decode path
 
 Each driver prints its rows and (with ``--out``) writes JSON next to the
 benchmark harness's output format.
@@ -91,20 +93,53 @@ def main(argv=None) -> int:
     runp.add_argument("--shots", type=int, default=None)
     runp.add_argument("--seed", type=int, default=2025)
     runp.add_argument("--out", type=Path, default=None)
+    runp.add_argument(
+        "--decode-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard each configuration's shots across N processes; sharded "
+            "results are independent of N (>= 2) but use different seed "
+            "streams than the serial N=1 path"
+        ),
+    )
+    runp.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable syndrome deduplication (reference per-shot decoding)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
         list_drivers()
         return 0
-    if args.figure == "all":
-        for key in sorted(DRIVERS):
-            run_driver(key, args.shots, args.seed, args.out)
+
+    # route the decode-engine knobs to every driver via the process defaults,
+    # restoring them afterwards so repeated in-process invocations don't
+    # inherit a previous run's flags
+    from .experiments import ler as _ler
+
+    saved = dict(_ler.DECODE_DEFAULTS)
+    if args.decode_workers is not None:
+        if args.decode_workers < 1:
+            parser.error("--decode-workers must be >= 1")
+        _ler.DECODE_DEFAULTS["workers"] = args.decode_workers
+    if args.no_dedup:
+        _ler.DECODE_DEFAULTS["dedup"] = False
+    try:
+        if args.figure == "all":
+            for key in sorted(DRIVERS):
+                run_driver(key, args.shots, args.seed, args.out)
+            return 0
+        if args.figure not in DRIVERS:
+            print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
+            return 2
+        run_driver(args.figure, args.shots, args.seed, args.out)
         return 0
-    if args.figure not in DRIVERS:
-        print(f"unknown figure {args.figure!r}; try 'list'", file=sys.stderr)
-        return 2
-    run_driver(args.figure, args.shots, args.seed, args.out)
-    return 0
+    finally:
+        _ler.DECODE_DEFAULTS.clear()
+        _ler.DECODE_DEFAULTS.update(saved)
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ __all__ = [
     "HybridPolicy",
     "POLICIES",
     "make_policy",
+    "policy_fields",
 ]
 
 
@@ -273,3 +274,12 @@ def make_policy(name: str, **kwargs) -> _BasePolicy:
     if name not in POLICIES:
         raise ValueError(f"unknown policy {name!r}; choose from {sorted(POLICIES)}")
     return POLICIES[name](**kwargs)
+
+
+def policy_fields(policy: _BasePolicy) -> tuple:
+    """Sorted ``(name, value)`` pairs of a policy's public constructor fields.
+
+    The single source of truth for round-tripping a policy instance through
+    :func:`make_policy` (worker handoff) and for stable cache keys.
+    """
+    return tuple(sorted((k, v) for k, v in vars(policy).items() if not k.startswith("_")))

@@ -1,5 +1,35 @@
-"""Decoders for detector error models: union-find, MWPM, LUT, hierarchical."""
+"""Decoders for detector error models, built around a batch decoding engine.
 
+Every decoder derives from :class:`~repro.decoders.batch.Decoder`: it
+implements ``decode(detectors) -> int`` (an observable-flip bitmask) and
+inherits a ``decode_batch`` that deduplicates identical syndromes — packs the
+boolean detector rows, groups them with ``np.unique(axis=0)``, decodes each
+distinct syndrome once, and scatters the masks back with one vectorized
+bitmask->bool expansion.  At the p ~ 1e-3 error rates of the paper's sweeps
+this collapses a 100k-shot batch to a few thousand decode calls while
+producing bit-identical predictions.
+
+Layers on top of the base class:
+
+* :class:`~repro.decoders.batch.BatchDecodingEngine` — dedup + an optional
+  bounded LRU :class:`~repro.decoders.batch.SyndromeCache` that persists
+  across batches, plus throughput statistics; used by the streaming LER
+  pipeline (:mod:`repro.experiments.ler`).
+* Concrete decoders: :class:`UnionFindDecoder` (workhorse),
+  :class:`MWPMDecoder` (accuracy reference), :class:`LookupTableDecoder`
+  (exact within budget), :class:`PredecodedDecoder` (local pass in front of a
+  global decoder), and :class:`HierarchicalDecoder` (LUT -> slow decoder with
+  a latency model).
+"""
+
+from .batch import (
+    BatchDecodeStats,
+    BatchDecodingEngine,
+    Decoder,
+    SyndromeCache,
+    decode_batch_dedup,
+    expand_obs_masks,
+)
 from .graph import MatchingGraph, build_matching_graph, graphlike_distance
 from .hierarchical import DecodeStats, HierarchicalDecoder, measure_decoder_latencies
 from .lut import (
@@ -13,6 +43,12 @@ from .predecoder import PredecodedDecoder, Predecoder, PredecodeStats
 from .unionfind import UnionFindDecoder
 
 __all__ = [
+    "BatchDecodeStats",
+    "BatchDecodingEngine",
+    "Decoder",
+    "SyndromeCache",
+    "decode_batch_dedup",
+    "expand_obs_masks",
     "MatchingGraph",
     "build_matching_graph",
     "graphlike_distance",

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import resolve_rng
+from .batch import Decoder, expand_obs_masks
 from .graph import MatchingGraph
 from .lut import LookupTableDecoder, max_entries_for_budget
 from .unionfind import UnionFindDecoder
@@ -40,7 +41,7 @@ class DecodeStats:
         return self.total_latency_ns / self.shots if self.shots else 0.0
 
 
-class HierarchicalDecoder:
+class HierarchicalDecoder(Decoder):
     """LUT first, accurate decoder on miss; tracks latency statistics."""
 
     def __init__(
@@ -66,16 +67,28 @@ class HierarchicalDecoder:
             else None
         )
 
-    def decode_batch(
+    def decode(self, detectors: np.ndarray) -> int:
+        """Decode one shot through the hierarchy (no latency bookkeeping)."""
+        hit, mask = self.lut.lookup(detectors)
+        return mask if hit else self.slow.decode(detectors)
+
+    # decode_batch (predictions only, with syndrome dedup) is inherited from
+    # Decoder; the latency model lives in decode_batch_stats below
+
+    def decode_batch_stats(
         self,
         detectors: np.ndarray,
         rng: np.random.Generator | int | None = None,
     ) -> tuple[np.ndarray, DecodeStats]:
-        """Decode shots, returning predictions and latency statistics."""
+        """Decode shots, returning predictions and latency statistics.
+
+        Unlike the inherited ``decode_batch`` this keeps the per-shot loop,
+        because the latency model draws one (stochastic) miss latency per
+        decode request; only the bitmask expansion is vectorized.
+        """
         rng = resolve_rng(rng)
         shots = detectors.shape[0]
-        nobs = self.graph.num_observables
-        out = np.zeros((shots, nobs), dtype=bool)
+        masks = np.zeros(shots, dtype=np.uint64)
         hits = 0
         latency = 0.0
         for s in range(shots):
@@ -86,9 +99,8 @@ class HierarchicalDecoder:
             else:
                 mask = self.slow.decode(detectors[s])
                 latency += self._miss_latency(rng)
-            for o in range(nobs):
-                if mask >> o & 1:
-                    out[s, o] = True
+            masks[s] = mask
+        out = expand_obs_masks(masks, self.graph.num_observables)
         return out, DecodeStats(shots=shots, hits=hits, total_latency_ns=latency)
 
     def _miss_latency(self, rng: np.random.Generator) -> float:

@@ -18,6 +18,7 @@ import math
 
 import numpy as np
 
+from .batch import Decoder
 from .graph import MatchingGraph
 
 __all__ = ["LookupTableDecoder", "lut_entry_bytes", "max_entries_for_budget"]
@@ -54,7 +55,7 @@ def lut_weight_threshold(window_bits: int, size_bytes: int, num_observables: int
     return window_bits
 
 
-class LookupTableDecoder:
+class LookupTableDecoder(Decoder):
     """Exact-within-budget decoder backed by an enumerated syndrome table."""
 
     def __init__(
@@ -117,13 +118,5 @@ class LookupTableDecoder:
             raise KeyError("syndrome not present in lookup table")
         return mask
 
-    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
-        """Decode (shots x detectors) outcomes to (shots x nobs) flips."""
-        shots = detectors.shape[0]
-        out = np.zeros((shots, self.graph.num_observables), dtype=bool)
-        for s in range(shots):
-            mask = self.decode(detectors[s])
-            for o in range(self.graph.num_observables):
-                if mask >> o & 1:
-                    out[s, o] = True
-        return out
+    # decode_batch (with syndrome dedup) is inherited from Decoder; a miss
+    # still raises KeyError, once per distinct uncovered syndrome

@@ -19,12 +19,13 @@ try:  # networkx >= 3 renamed nothing we use; import defensively anyway
 except ImportError as exc:  # pragma: no cover
     raise ImportError("networkx is required for the MWPM decoder") from exc
 
+from .batch import Decoder
 from .graph import MatchingGraph
 
 __all__ = ["MWPMDecoder"]
 
 
-class MWPMDecoder:
+class MWPMDecoder(Decoder):
     """Exact matching decoder over a :class:`MatchingGraph`."""
 
     def __init__(self, graph: MatchingGraph):
@@ -58,16 +59,13 @@ class MWPMDecoder:
             return 0
         return self._decode_defects(defects)
 
-    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
-        """Decode (shots x detectors) outcomes to (shots x nobs) flips."""
-        shots = detectors.shape[0]
-        out = np.zeros((shots, self.graph.num_observables), dtype=bool)
-        for s in range(shots):
-            mask = self.decode(detectors[s])
-            for o in range(self.graph.num_observables):
-                if mask >> o & 1:
-                    out[s, o] = True
-        return out
+    def _decode_one_defects(self, defects: list[int], multiplicity: int = 1) -> int:
+        """Dedup fast path: decode a pre-extracted defect index list."""
+        if not defects:
+            return 0
+        return self._decode_defects(np.asarray(defects, dtype=np.int64))
+
+    # decode_batch (with syndrome dedup) is inherited from Decoder
 
     # -- internals ---------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .batch import Decoder
 from .graph import MatchingGraph
 
 __all__ = ["Predecoder", "PredecodedDecoder", "PredecodeStats"]
@@ -106,34 +107,35 @@ class Predecoder:
         return residual, mask, removed
 
 
-class PredecodedDecoder:
-    """Predecoder in front of any ``decode(detectors) -> mask`` decoder."""
+class PredecodedDecoder(Decoder):
+    """Predecoder in front of any ``decode(detectors) -> mask`` decoder.
+
+    ``decode_batch`` is inherited from :class:`~repro.decoders.batch.Decoder`;
+    the offload statistics stay exact under syndrome dedup because each
+    distinct syndrome's contribution is weighted by its shot multiplicity.
+    Cross-batch memo caching is declined (``supports_syndrome_cache=False``):
+    a cache hit would skip that bookkeeping and undercount the statistics.
+    """
+
+    supports_syndrome_cache = False
 
     def __init__(self, graph: MatchingGraph, slow_decoder):
+        self.graph = graph
         self.predecoder = Predecoder(graph)
         self.slow = slow_decoder
         self.stats = PredecodeStats()
-        self._nobs = graph.num_observables
 
     def decode(self, detectors: np.ndarray) -> int:
         """Decode one detector bitstring into an observable-flip bitmask."""
+        return self._decode_one(detectors, 1)
+
+    def _decode_one(self, detectors: np.ndarray, multiplicity: int = 1) -> int:
         residual, mask, removed = self.predecoder.apply(detectors)
-        self.stats.shots += 1
-        self.stats.defects_total += int(detectors.sum())
-        self.stats.defects_removed += removed
+        self.stats.shots += multiplicity
+        self.stats.defects_total += int(detectors.sum()) * multiplicity
+        self.stats.defects_removed += removed * multiplicity
         if residual.any():
             mask ^= self.slow.decode(residual)
         else:
-            self.stats.fully_predecoded_shots += 1
+            self.stats.fully_predecoded_shots += multiplicity
         return mask
-
-    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
-        """Decode (shots x detectors) outcomes to (shots x nobs) flips."""
-        shots = detectors.shape[0]
-        out = np.zeros((shots, self._nobs), dtype=bool)
-        for s in range(shots):
-            mask = self.decode(detectors[s])
-            for o in range(self._nobs):
-                if mask >> o & 1:
-                    out[s, o] = True
-        return out

@@ -15,22 +15,44 @@ from __future__ import annotations
 
 import numpy as np
 
+from .batch import Decoder
 from .graph import MatchingGraph
 
 __all__ = ["UnionFindDecoder"]
 
 
-class UnionFindDecoder:
-    """Decodes detector bitstrings into observable-flip predictions."""
+class UnionFindDecoder(Decoder):
+    """Decodes detector bitstrings into observable-flip predictions.
+
+    Not reentrant: each instance reuses per-node scratch state between
+    ``decode`` calls (reset after every call), so share one instance per
+    process/thread — the multiprocess sweep runner already does this; do not
+    call the same instance from multiple threads concurrently.
+    """
 
     def __init__(self, graph: MatchingGraph, *, weight_resolution: int = 16):
         self.graph = graph
-        self._indptr, self._eids = graph.adjacency()
+        indptr, eids = graph.adjacency()
         self._weights = graph.integer_weights(weight_resolution)
-        self._eu = graph.edge_u
-        self._ev = graph.edge_v
-        self._eobs = graph.edge_obs
         self._boundary = graph.boundary_node
+        # hot-path state as plain python ints/lists: the growth and peeling
+        # loops are pure python, and per-element numpy indexing there costs
+        # several times a list access
+        self._adj = [
+            eids[indptr[n] : indptr[n + 1]].tolist() for n in range(graph.num_detectors + 1)
+        ]
+        self._wt = self._weights.tolist()
+        self._eu = graph.edge_u.tolist()
+        self._ev = graph.edge_v.tolist()
+        self._eobs = [int(m) for m in graph.edge_obs]
+        # reusable union-find scratch state, reset to this pristine shape
+        # after every decode (cheaper than rebuilding dicts per shot)
+        n = graph.num_detectors + 1
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._parity = [0] * n
+        self._bnd = [False] * n
+        self._members: list = [None] * n
 
     # -- public API ----------------------------------------------------------
 
@@ -41,51 +63,44 @@ class UnionFindDecoder:
             return 0
         return self._decode_defects(defects.tolist())
 
-    def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
-        """Decode ``(shots, num_detectors)`` outcomes to ``(shots, nobs)`` bools."""
-        shots = detectors.shape[0]
-        nobs = self.graph.num_observables
-        out = np.zeros((shots, nobs), dtype=bool)
-        rows, cols = np.nonzero(detectors)
-        if rows.size == 0:
-            return out
-        starts = np.searchsorted(rows, np.arange(shots + 1))
-        for s in range(shots):
-            lo, hi = starts[s], starts[s + 1]
-            if lo == hi:
-                continue
-            mask = self._decode_defects(cols[lo:hi].tolist())
-            for o in range(nobs):
-                if mask >> o & 1:
-                    out[s, o] = True
-        return out
+    def _decode_one_defects(self, defects: list[int], multiplicity: int = 1) -> int:
+        """Dedup fast path: decode a pre-extracted defect index list."""
+        if not defects:
+            return 0
+        return self._decode_defects(defects)
+
+    # decode_batch (with syndrome dedup) is inherited from Decoder
 
     # -- core ------------------------------------------------------------------
 
     def _decode_defects(self, defects: list[int]) -> int:
-        parent: dict[int, int] = {}
-        rank: dict[int, int] = {}
-        parity: dict[int, int] = {}
-        touches_boundary: dict[int, bool] = {}
-        members: dict[int, list[int]] = {}
+        # union-find over reusable per-node scratch lists; `touched` records
+        # every node whose state left the pristine shape so the finally-block
+        # can restore it in O(touched) instead of reallocating
+        parent = self._parent
+        rank = self._rank
+        parity = self._parity
+        touches_boundary = self._bnd
+        members = self._members
+        boundary = self._boundary
+        touched: list[int] = []
         growth: dict[int, int] = {}
         solid: set[int] = set()
 
         def find(a: int) -> int:
             root = a
-            while parent.get(root, root) != root:
+            while parent[root] != root:
                 root = parent[root]
-            while parent.get(a, a) != a:
+            while parent[a] != a:
                 parent[a], a = root, parent[a]
             return root
 
         def add_node(a: int) -> int:
-            if a not in parent:
-                parent[a] = a
-                rank[a] = 0
-                parity[a] = 0
-                touches_boundary[a] = a == self._boundary
+            if members[a] is None:
+                touched.append(a)
+                touches_boundary[a] = a == boundary
                 members[a] = [a]
+                return a
             return find(a)
 
         def union(a: int, b: int) -> int:
@@ -98,77 +113,98 @@ class UnionFindDecoder:
             if rank[ra] == rank[rb]:
                 rank[ra] += 1
             parity[ra] ^= parity[rb]
-            touches_boundary[ra] = touches_boundary[ra] or touches_boundary[rb]
+            if touches_boundary[rb]:
+                touches_boundary[ra] = True
             members[ra].extend(members[rb])
             return ra
 
-        for d in defects:
-            r = add_node(d)
-            parity[r] ^= 1
+        try:
+            # seed clusters: defect indices are detector nodes (never the
+            # boundary), each starting as its own odd root; a repeated index
+            # cancels its own parity
+            for d in defects:
+                if members[d] is None:
+                    touched.append(d)
+                    parity[d] = 1
+                    members[d] = [d]
+                else:
+                    parity[d] ^= 1
 
-        indptr, eids = self._indptr, self._eids
-        eu, ev, weights = self._eu, self._ev, self._weights
+            adj = self._adj
+            eu, ev, weights = self._eu, self._ev, self._wt
 
-        max_rounds = 4 * (self.graph.num_edges + 2)
-        for _ in range(max_rounds):
-            active_roots = {
-                find(d)
-                for d in defects
-                if parity[find(d)] == 1 and not touches_boundary[find(d)]
-            }
-            if not active_roots:
-                break
-            # frontier: non-solid edges incident to active clusters, with the
-            # number of distinct active clusters pushing on each edge (an edge
-            # between two active clusters grows from both sides).
-            frontier: dict[int, int] = {}
-            for root in active_roots:
-                seen: set[int] = set()
-                for node in members[root]:
-                    for e in eids[indptr[node] : indptr[node + 1]]:
-                        e = int(e)
-                        if e not in solid and e not in seen:
-                            seen.add(e)
-                            frontier[e] = frontier.get(e, 0) + 1
-            if not frontier:
-                break  # isolated odd cluster with no frontier: give up
-            # event-driven growth: jump straight to the next edge completion
-            step = min(
-                -((growth.get(e, 0) - int(weights[e])) // c) for e, c in frontier.items()
-            )
-            completed: list[int] = []
-            for e, c in frontier.items():
-                g = growth.get(e, 0) + c * step
-                growth[e] = g
-                if g >= weights[e]:
-                    completed.append(e)
-            for e in completed:
-                if e in solid:
-                    continue
-                solid.add(e)
-                a, b = int(eu[e]), int(ev[e])
-                add_node(a)
-                add_node(b)
-                union(a, b)
+            max_rounds = 4 * (self.graph.num_edges + 2)
+            for _ in range(max_rounds):
+                active_roots = set()
+                for d in defects:
+                    r = find(d)
+                    if parity[r] == 1 and not touches_boundary[r]:
+                        active_roots.add(r)
+                if not active_roots:
+                    break
+                # frontier: non-solid edges incident to active clusters, with
+                # the number of distinct active clusters pushing on each edge
+                # (an edge between two active clusters grows from both sides)
+                frontier: dict[int, int] = {}
+                for root in active_roots:
+                    seen: set[int] = set()
+                    for node in members[root]:
+                        for e in adj[node]:
+                            if e not in solid and e not in seen:
+                                seen.add(e)
+                                frontier[e] = frontier.get(e, 0) + 1
+                if not frontier:
+                    break  # isolated odd cluster with no frontier: give up
+                # event-driven growth: jump straight to the next completion
+                grown = growth.get
+                step = None
+                for e, c in frontier.items():
+                    need = -((grown(e, 0) - weights[e]) // c)
+                    if step is None or need < step:
+                        step = need
+                completed: list[int] = []
+                for e, c in frontier.items():
+                    g = grown(e, 0) + c * step
+                    growth[e] = g
+                    if g >= weights[e]:
+                        completed.append(e)
+                for e in completed:
+                    if e in solid:
+                        continue
+                    solid.add(e)
+                    a, b = eu[e], ev[e]
+                    add_node(a)
+                    add_node(b)
+                    union(a, b)
 
-        return self._peel(defects, solid, find_nodes=set(parent))
+            return self._peel(defects, solid)
+        finally:
+            for a in touched:
+                parent[a] = a
+                rank[a] = 0
+                parity[a] = 0
+                touches_boundary[a] = False
+                members[a] = None
 
-    def _peel(self, defects: list[int], solid: set[int], find_nodes: set[int]) -> int:
+    def _peel(self, defects: list[int], solid: set[int]) -> int:
         """Peel a spanning forest of the solid subgraph; boundary is a sink."""
         if not solid:
             return 0
         eu, ev, eobs = self._eu, self._ev, self._eobs
         adj: dict[int, list[int]] = {}
         for e in solid:
-            a, b = int(eu[e]), int(ev[e])
+            a, b = eu[e], ev[e]
             adj.setdefault(a, []).append(e)
             adj.setdefault(b, []).append(e)
 
         # spanning forest via BFS, roots preferring the boundary node
         visited: set[int] = set()
-        tree_children: dict[int, list[tuple[int, int]]] = {}
         order: list[tuple[int, int, int]] = []  # (node, parent, edge)
-        nodes = sorted(adj, key=lambda n: 0 if n == self._boundary else 1)
+        boundary = self._boundary
+        if boundary in adj:  # boundary-first, others in insertion order
+            nodes = [boundary] + [n for n in adj if n != boundary]
+        else:
+            nodes = list(adj)
         for start in nodes:
             if start in visited:
                 continue
@@ -177,22 +213,28 @@ class UnionFindDecoder:
             while stack:
                 node = stack.pop()
                 for e in adj[node]:
-                    other = int(ev[e]) if int(eu[e]) == node else int(eu[e])
+                    other = ev[e] if eu[e] == node else eu[e]
                     if other in visited:
                         continue
                     visited.add(other)
                     order.append((other, node, e))
                     stack.append(other)
 
-        defect_set = {}
+        defect_set: set[int] = set()
         for d in defects:
-            defect_set[d] = defect_set.get(d, 0) ^ 1
+            if d in defect_set:
+                defect_set.discard(d)
+            else:
+                defect_set.add(d)
         mask = 0
         # peel leaves (reverse BFS order): each node decides its parent edge
         for node, parent_node, e in reversed(order):
-            if defect_set.get(node, 0):
-                mask ^= int(eobs[e])
-                defect_set[node] = 0
-                if parent_node != self._boundary:
-                    defect_set[parent_node] = defect_set.get(parent_node, 0) ^ 1
+            if node in defect_set:
+                mask ^= eobs[e]
+                defect_set.discard(node)
+                if parent_node != boundary:
+                    if parent_node in defect_set:
+                        defect_set.discard(parent_node)
+                    else:
+                        defect_set.add(parent_node)
         return mask

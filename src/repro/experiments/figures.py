@@ -36,7 +36,7 @@ from ..workloads.sync_estimate import (
     program_ler_increase,
     syncs_per_cycle_table,
 )
-from .ler import SurgeryLerConfig, prepared_pipeline, run_surgery_ler
+from .ler import DECODE_DEFAULTS, SurgeryLerConfig, prepared_pipeline, run_surgery_ler
 from .stats import RateEstimate
 
 __all__ = [
@@ -138,7 +138,7 @@ def fig1c_repetition_idle(
         rates = {}
         for label in ("zero", "one"):
             det, obs = sampler.sample(shots, rng)
-            pred = decoder.decode_batch(det)
+            pred = decoder.decode_batch(det, dedup=DECODE_DEFAULTS["dedup"])
             rates[label] = float((pred[:, :1] ^ obs).mean())
         out[float(idle)] = rates
     return out
@@ -253,7 +253,9 @@ def fig7_hamming_weight(
         )
         pipe = prepared_pipeline(config, make_policy(policy_name))
         det, obs = pipe.sampler.sample(shots, rng)
-        pred = pipe.decoder("unionfind").decode_batch(det)
+        pred = pipe.decoder("unionfind").decode_batch(
+            pipe.mask_detectors(det), dedup=DECODE_DEFAULTS["dedup"]
+        )
         failures = (pred[:, 1] ^ obs[:, 1]).astype(int)  # joint observable
         weights = det.sum(axis=1)
         rows = []

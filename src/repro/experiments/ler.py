@@ -3,18 +3,29 @@
 Glues the stack together: synchronization policy -> idle timelines ->
 lattice-surgery circuit -> detector error model -> sampling -> decoding ->
 LER per observable.  Detector error models and decoders are cached per
-configuration, so sweeps pay the circuit-analysis cost once.
+configuration (bounded LRU), so sweeps pay the circuit-analysis cost once.
+
+:func:`run_surgery_ler` is a *streaming* pipeline: it samples, decodes and
+accumulates failures one batch at a time through a
+:class:`~repro.decoders.batch.BatchDecodingEngine` (syndrome dedup plus an
+optional cross-batch memo cache), so memory stays bounded by ``batch_size``
+even for million-shot runs.  With ``decode_workers > 1`` the shots of the
+single configuration are sharded across a process pool
+(:func:`repro.experiments.parallel.run_sharded_ler`) with
+``np.random.SeedSequence.spawn`` child streams.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import resolve_rng
+from .._util import env_int, resolve_rng
 from ..codes.surgery import SurgerySpec, surgery_experiment
-from ..core.policies import SyncScenario, _BasePolicy
+from ..core.policies import SyncScenario, _BasePolicy, policy_fields
+from ..decoders.batch import BatchDecodingEngine
 from ..decoders.graph import MatchingGraph, build_matching_graph
 from ..decoders.mwpm import MWPMDecoder
 from ..decoders.unionfind import UnionFindDecoder
@@ -24,10 +35,31 @@ from ..stab.dem import circuit_to_dem
 from ..stab.sampler import DemSampler
 from .stats import RateEstimate
 
-__all__ = ["SurgeryLerConfig", "LerResult", "run_surgery_ler", "prepared_pipeline"]
+__all__ = [
+    "SurgeryLerConfig",
+    "LerResult",
+    "run_surgery_ler",
+    "prepared_pipeline",
+    "clear_pipeline_cache",
+    "DECODE_DEFAULTS",
+]
 
-#: process-wide cache of analyzed configurations
-_PIPELINE_CACHE: dict = {}
+#: process-wide LRU cache of analyzed configurations (bounded; see
+#: ``PIPELINE_CACHE_SIZE``)
+_PIPELINE_CACHE: "OrderedDict[tuple, _Pipeline]" = OrderedDict()
+
+#: maximum number of analyzed configurations kept alive at once; consulted on
+#: every :func:`prepared_pipeline` call so tests/sweeps may adjust it
+PIPELINE_CACHE_SIZE: int = env_int("REPRO_PIPELINE_CACHE_SIZE", 32)
+
+#: process-wide decode-engine defaults, overridable per call; the CLI's
+#: ``--decode-workers``/``--no-dedup`` flags and the ``REPRO_DECODE_*``
+#: environment knobs land here
+DECODE_DEFAULTS: dict = {
+    "dedup": bool(env_int("REPRO_DECODE_DEDUP", 1)),
+    "workers": env_int("REPRO_DECODE_WORKERS", 1),
+    "cache_size": env_int("REPRO_DECODE_CACHE", 1 << 15),
+}
 
 
 @dataclass(frozen=True)
@@ -61,6 +93,8 @@ class LerResult:
     shots: int
     estimates: list[RateEstimate]
     plan_summary: dict = field(default_factory=dict)
+    #: decode-engine statistics (present when run through run_surgery_ler)
+    decode_stats: dict = field(default_factory=dict)
 
     @property
     def ler(self) -> list[float]:
@@ -102,6 +136,7 @@ class _Pipeline:
         self._detector_mask = np.array(
             [b == basis for b in self.dem.detector_basis], dtype=bool
         )
+        self._mask_is_identity = bool(self._detector_mask.all())
         self._decoders: dict[str, object] = {}
 
     def decoder(self, name: str):
@@ -114,6 +149,21 @@ class _Pipeline:
                 raise ValueError(f"unknown decoder {name!r}")
         return self._decoders[name]
 
+    def mask_detectors(self, det: np.ndarray) -> np.ndarray:
+        """Project full-DEM detector samples onto the matching graph's basis.
+
+        Always applied explicitly — never inferred from a shape coincidence:
+        the input must have one column per DEM detector, and the output has
+        one column per graph detector.
+        """
+        det = np.asarray(det, dtype=bool)
+        if det.ndim != 2 or det.shape[1] != self._detector_mask.size:
+            raise ValueError(
+                f"expected (shots, {self._detector_mask.size}) detector samples, "
+                f"got shape {det.shape}"
+            )
+        return det if self._mask_is_identity else det[:, self._detector_mask]
+
     def plan_summary(self) -> dict:
         return {
             "policy": self.plan.policy,
@@ -125,12 +175,46 @@ class _Pipeline:
         }
 
 
+def _policy_cache_key(policy: _BasePolicy) -> tuple:
+    """Stable cache key from the policy's type and public constructor fields.
+
+    Replaces the old ``repr(vars(policy))`` key, which depended on dict
+    insertion order and float repr quirks.
+    """
+    return (type(policy).__name__, policy_fields(policy))
+
+
 def prepared_pipeline(config: SurgeryLerConfig, policy: _BasePolicy) -> _Pipeline:
-    """Build (or fetch) the analyzed pipeline for ``config``."""
-    key = (config, type(policy).__name__, repr(vars(policy)))
-    if key not in _PIPELINE_CACHE:
-        _PIPELINE_CACHE[key] = _Pipeline(config, policy)
-    return _PIPELINE_CACHE[key]
+    """Build (or fetch) the analyzed pipeline for ``config`` (bounded LRU)."""
+    key = (config, _policy_cache_key(policy))
+    pipe = _PIPELINE_CACHE.get(key)
+    if pipe is None:
+        pipe = _Pipeline(config, policy)
+        _PIPELINE_CACHE[key] = pipe
+    _PIPELINE_CACHE.move_to_end(key)
+    while len(_PIPELINE_CACHE) > max(1, PIPELINE_CACHE_SIZE):
+        _PIPELINE_CACHE.popitem(last=False)
+    return pipe
+
+
+def clear_pipeline_cache() -> None:
+    """Drop all cached pipelines (mainly for tests and memory pressure)."""
+    _PIPELINE_CACHE.clear()
+
+
+def _pad_predictions(predictions: np.ndarray, nobs: int) -> np.ndarray:
+    """Align decoder predictions to ``nobs`` observable columns.
+
+    Pads with False when the graph tracks fewer observables than the sampled
+    data (instead of a shape-mismatch crash or a silent mis-slice), and
+    truncates when it tracks more.
+    """
+    if predictions.shape[1] == nobs:
+        return predictions
+    out = np.zeros((predictions.shape[0], nobs), dtype=bool)
+    k = min(nobs, predictions.shape[1])
+    out[:, :k] = predictions[:, :k]
+    return out
 
 
 def run_surgery_ler(
@@ -141,16 +225,64 @@ def run_surgery_ler(
     *,
     decoder: str = "unionfind",
     batch_size: int = 65536,
+    dedup: bool | None = None,
+    cache_size: int | None = None,
+    decode_workers: int | None = None,
 ) -> LerResult:
-    """Sample and decode ``shots`` shots of one configuration."""
+    """Sample and decode ``shots`` shots of one configuration, streaming.
+
+    Batches of at most ``batch_size`` shots are sampled, decoded and reduced
+    to failure counts immediately, so peak memory is independent of
+    ``shots``.  ``dedup``/``cache_size``/``decode_workers`` default to
+    :data:`DECODE_DEFAULTS`; with ``decode_workers > 1`` the run is sharded
+    across a process pool (bit-identical for any worker count >= 2 given the
+    same seed).  The sharded path draws from ``SeedSequence.spawn`` child
+    streams, so its results are statistically equivalent to — but not
+    bit-identical with — the serial single-stream path.
+    """
+    dedup = DECODE_DEFAULTS["dedup"] if dedup is None else dedup
+    cache_size = DECODE_DEFAULTS["cache_size"] if cache_size is None else cache_size
+    workers = DECODE_DEFAULTS["workers"] if decode_workers is None else decode_workers
+    if workers > 1 and shots > 1:
+        from .parallel import run_sharded_ler  # local import: avoids a cycle
+
+        # the shard count stays DEFAULT_NUM_SHARDS regardless of `workers`:
+        # results must depend only on (rng, num_shards), never on pool size
+        return run_sharded_ler(
+            config,
+            policy,
+            shots,
+            rng,
+            max_workers=workers,
+            decoder=decoder,
+            dedup=dedup,
+            batch_size=batch_size,
+            cache_size=cache_size,
+        )
+
     rng = resolve_rng(rng)
     pipe = prepared_pipeline(config, policy)
-    det, obs = pipe.sampler.sample(shots, rng, batch_size=batch_size)
-    det = det[:, pipe._detector_mask] if det.shape[1] != pipe.graph.num_detectors else det
-    predictions = pipe.decoder(decoder).decode_batch(det)
-    nobs = obs.shape[1]
-    failures = (predictions[:, :nobs] ^ obs).sum(axis=0)
+    engine = BatchDecodingEngine(
+        pipe.decoder(decoder), dedup=dedup, cache_size=cache_size
+    )
+    nobs = pipe.dem.num_observables
+    failures = np.zeros(nobs, dtype=np.int64)
+    for det, obs in pipe.sampler.sample_batches(shots, rng, batch_size=batch_size):
+        predictions = engine.decode_batch(pipe.mask_detectors(det))
+        failures += (_pad_predictions(predictions, nobs) ^ obs).sum(axis=0)
     estimates = [RateEstimate(int(failures[k]), shots) for k in range(nobs)]
+    stats = engine.stats
     return LerResult(
-        config=config, shots=shots, estimates=estimates, plan_summary=pipe.plan_summary()
+        config=config,
+        shots=shots,
+        estimates=estimates,
+        plan_summary=pipe.plan_summary(),
+        decode_stats={
+            "batches": stats.batches,
+            "distinct_syndromes": stats.distinct_syndromes,
+            "decode_calls": stats.decode_calls,
+            "cache_hits": stats.cache_hits,
+            "dedup_hit_rate": stats.dedup_hit_rate,
+            "decode_seconds": stats.decode_seconds,
+        },
     )

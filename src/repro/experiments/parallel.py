@@ -1,11 +1,23 @@
-"""Multiprocess sweep execution (the paper's 128-process batching model).
+"""Multiprocess sweep execution and sharded single-configuration decoding.
 
-The artifact's scripts split each configuration's shots into batches run by a
-process pool; :func:`run_sweep_parallel` does the same for a list of
-:class:`~repro.experiments.ler.SurgeryLerConfig` points.  Each worker builds
-its own pipeline (detector error models are not shareable across processes),
-so parallelism pays off when the per-configuration sampling/decoding work
-dominates the circuit analysis — exactly the regime of large shot counts.
+The paper's artifact runs each configuration's shots as batches on a
+128-process pool; this module reproduces that model at two granularities:
+
+* **Across configurations** — :func:`run_sweep_parallel` executes a list of
+  :class:`SweepTask` points (one per configuration/batch) on a
+  ``ProcessPoolExecutor``.  Each worker builds its own pipeline (detector
+  error models are not shareable across processes), so parallelism pays off
+  when sampling/decoding dominates circuit analysis — the large-shot-count
+  regime.
+* **Within one configuration** — :func:`run_sharded_ler` splits a single
+  configuration's shots into a fixed number of shards, each seeded with a
+  ``np.random.SeedSequence.spawn`` child stream, runs the shards on the pool
+  and pools the failure counts with :func:`merge_results`.  Because the shard
+  layout depends only on ``(seed, num_shards)`` — never on the pool size —
+  the merged result is bit-identical for any ``max_workers``, including 1.
+
+Workers decode through the batch engine (:mod:`repro.decoders.batch`) with
+syndrome dedup, so a shard's cost scales with its *distinct* syndromes.
 """
 
 from __future__ import annotations
@@ -13,27 +25,61 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from ..core.policies import make_policy
+from .._util import spawn_seeds
+from ..core.policies import _BasePolicy, make_policy, policy_fields
 from .ler import LerResult, SurgeryLerConfig, run_surgery_ler
 from .stats import RateEstimate
 
-__all__ = ["SweepTask", "run_sweep_parallel", "merge_results"]
+__all__ = [
+    "SweepTask",
+    "run_sweep_parallel",
+    "run_sharded_ler",
+    "shard_tasks",
+    "merge_results",
+    "DEFAULT_NUM_SHARDS",
+]
+
+#: default shard count for one configuration: fixed (never derived from the
+#: worker count or host CPU topology) so a seeded result is reproducible on
+#: any machine; sized to keep a few dozen workers busy, which costs little
+#: because pool processes cache the analyzed pipeline across their shards
+DEFAULT_NUM_SHARDS = 32
 
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One unit of work: a configuration plus its shot batch and seed."""
+    """One unit of work: a configuration plus its shot batch and seed.
+
+    ``seed`` may be an int, ``None``, or a spawned ``SeedSequence`` /
+    ``Generator`` (anything :func:`repro._util.resolve_rng` accepts).
+    """
 
     config: SurgeryLerConfig
     policy_name: str
     policy_kwargs: tuple
     shots: int
-    seed: int
+    seed: object
+    decoder: str = "unionfind"
+    dedup: bool | None = None
+    batch_size: int = 65536
+    cache_size: int | None = None
 
 
 def _run_task(task: SweepTask) -> LerResult:
     policy = make_policy(task.policy_name, **dict(task.policy_kwargs))
-    return run_surgery_ler(task.config, policy, task.shots, task.seed)
+    # decode_workers=1: a worker never re-shards, whatever the process-wide
+    # DECODE_DEFAULTS say
+    return run_surgery_ler(
+        task.config,
+        policy,
+        task.shots,
+        task.seed,
+        decoder=task.decoder,
+        dedup=task.dedup,
+        batch_size=task.batch_size,
+        cache_size=task.cache_size,
+        decode_workers=1,
+    )
 
 
 def run_sweep_parallel(
@@ -48,6 +94,114 @@ def run_sweep_parallel(
         return [_run_task(t) for t in tasks]
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
         return list(pool.map(_run_task, tasks))
+
+
+def shard_tasks(
+    config: SurgeryLerConfig,
+    policy_name: str,
+    policy_kwargs: tuple,
+    shots: int,
+    seed,
+    *,
+    num_shards: int,
+    decoder: str = "unionfind",
+    dedup: bool | None = None,
+    batch_size: int = 65536,
+    cache_size: int | None = None,
+) -> list[SweepTask]:
+    """Split one configuration's shots into independently seeded shard tasks.
+
+    Shard sizes differ by at most one shot; each shard gets its own
+    ``SeedSequence.spawn`` child, so the task list is a pure function of
+    ``(shots, seed, num_shards)``.
+    """
+    if shots < 0:
+        raise ValueError("shots must be non-negative")
+    num_shards = max(1, min(num_shards, shots or 1))
+    seeds = spawn_seeds(seed, num_shards)
+    base, extra = divmod(shots, num_shards)
+    tasks = []
+    for i in range(num_shards):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        tasks.append(
+            SweepTask(
+                config=config,
+                policy_name=policy_name,
+                policy_kwargs=policy_kwargs,
+                shots=size,
+                seed=seeds[i],
+                decoder=decoder,
+                dedup=dedup,
+                batch_size=batch_size,
+                cache_size=cache_size,
+            )
+        )
+    return tasks
+
+
+def run_sharded_ler(
+    config: SurgeryLerConfig,
+    policy: _BasePolicy,
+    shots: int,
+    rng=None,
+    *,
+    num_shards: int = DEFAULT_NUM_SHARDS,
+    max_workers: int | None = None,
+    decoder: str = "unionfind",
+    dedup: bool | None = None,
+    batch_size: int = 65536,
+    cache_size: int | None = None,
+) -> LerResult:
+    """Decode one configuration's shots sharded across a process pool.
+
+    The result is bit-identical for any ``max_workers`` given the same
+    ``rng`` and ``num_shards`` (the shard seeds are spawned up front and the
+    pooled counts are order-independent sums).  ``rng`` should be an int
+    seed, ``SeedSequence`` or ``Generator``; ``None`` draws fresh entropy.
+    """
+    tasks = shard_tasks(
+        config,
+        policy.name,
+        policy_fields(policy),
+        shots,
+        rng,
+        num_shards=num_shards,
+        decoder=decoder,
+        dedup=dedup,
+        batch_size=batch_size,
+        cache_size=cache_size,
+    )
+    if not tasks:
+        # zero shots: fall back to the serial path so the result has the
+        # same shape (one zero-shot estimate per observable, full stats)
+        return run_surgery_ler(
+            config, policy, 0, rng, decoder=decoder, dedup=dedup, decode_workers=1
+        )
+    results = run_sweep_parallel(tasks, max_workers=max_workers)
+    # aggregate shard stats under the same keys the serial path reports
+    totals = {
+        key: sum(r.decode_stats.get(key, 0) for r in results)
+        for key in (
+            "batches",
+            "distinct_syndromes",
+            "decode_calls",
+            "cache_hits",
+            "decode_seconds",
+        )
+    }
+    totals["shards"] = len(results)
+    totals["dedup_hit_rate"] = (
+        1.0 - totals["decode_calls"] / shots if shots else 0.0
+    )
+    return LerResult(
+        config=config,
+        shots=shots,
+        estimates=merge_results(results),
+        plan_summary=results[0].plan_summary,
+        decode_stats=totals,
+    )
 
 
 def merge_results(results: list[LerResult]) -> list[RateEstimate]:

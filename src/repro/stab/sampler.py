@@ -11,7 +11,13 @@ The per-error Bernoulli draw is *exact* without materializing a dense
 ``lambda = -ln(1 - 2p) / 2`` and keep odd-multiplicity cells.  Each cell's
 dart count is then i.i.d. ``Poisson(lambda)``, whose odd-parity probability
 is exactly ``p``.  Errors with ``p > 1/2`` are folded into a deterministic
-flip plus a residual ``1 - p`` draw.
+flip plus a residual ``1 - p`` draw; errors with ``p == 1/2`` exactly (fair
+coins, where the dart rate diverges) are sampled as genuine Bernoulli(1/2)
+flips.
+
+:meth:`DemSampler.sample_batches` yields per-batch arrays for streaming
+pipelines that decode as they sample instead of materializing all
+``(shots, num_detectors)`` outcomes at once.
 """
 
 from __future__ import annotations
@@ -47,6 +53,12 @@ class DemSampler:
             for o in dem.errors[i].observables:
                 self._obs_offset[o] ^= True
         effective = np.where(heavy, 1.0 - self.probabilities, self.probabilities)
+        # p == 1/2 exactly is a fair coin: the dart rate -ln(1-2p)/2 diverges,
+        # so those mechanisms are excluded here and sampled as Bernoulli(1/2)
+        # flips in _sample_error_matrix instead of being clipped (which would
+        # bias them and cost ~14 darts per shot each).
+        self._fair = np.flatnonzero(effective == 0.5)
+        effective = np.where(effective == 0.5, 0.0, effective)
         effective = np.clip(effective, 0.0, 0.5 - 1e-12)
         self._rates = -0.5 * np.log1p(-2.0 * effective)
 
@@ -62,48 +74,93 @@ class DemSampler:
         batch_size: int = 65536,
         return_errors: bool = False,
     ):
-        """Sample ``shots`` outcomes.
+        """Sample ``shots`` outcomes (``shots == 0`` yields empty arrays).
 
         Returns ``(detectors, observables)`` boolean arrays of shapes
         ``(shots, num_detectors)`` / ``(shots, num_observables)``.  With
         ``return_errors=True`` a third item gives the sampled error matrix
         as a ``scipy.sparse.csr_matrix``.
         """
-        rng = resolve_rng(rng)
         det_parts, obs_parts, err_parts = [], [], []
+        for part in self.sample_batches(
+            shots, rng, batch_size=batch_size, return_errors=return_errors
+        ):
+            det_parts.append(part[0])
+            obs_parts.append(part[1])
+            if return_errors:
+                err_parts.append(part[2])
+        if det_parts:
+            det = np.concatenate(det_parts, axis=0)
+            obs = np.concatenate(obs_parts, axis=0)
+        else:  # shots == 0: correctly shaped empties instead of concatenate([])
+            det = np.zeros((0, self.dem.num_detectors), dtype=bool)
+            obs = np.zeros((0, self.dem.num_observables), dtype=bool)
+        if return_errors:
+            err = (
+                sp.vstack(err_parts).tocsr()
+                if err_parts
+                else sp.csr_matrix((0, self.num_errors), dtype=np.uint8)
+            )
+            return det, obs, err
+        return det, obs
+
+    def sample_batches(
+        self,
+        shots: int,
+        rng: np.random.Generator | int | None = None,
+        *,
+        batch_size: int = 65536,
+        return_errors: bool = False,
+    ):
+        """Yield ``(detectors, observables[, errors])`` per batch of shots.
+
+        Streaming form of :meth:`sample`: memory stays bounded by
+        ``batch_size`` regardless of the total shot count, and consuming the
+        generator draws from ``rng`` in exactly the same order as
+        :meth:`sample` with the same ``batch_size``.
+        """
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        rng = resolve_rng(rng)
         remaining = shots
         while remaining > 0:
             batch = min(batch_size, remaining)
             err = self._sample_error_matrix(batch, rng)
-            det_parts.append(_gf2_product(err, self._det_matrix) ^ self._det_offset)
-            obs_parts.append(_gf2_product(err, self._obs_matrix) ^ self._obs_offset)
-            if return_errors:
-                err_parts.append(err)
+            det = _gf2_product(err, self._det_matrix) ^ self._det_offset
+            obs = _gf2_product(err, self._obs_matrix) ^ self._obs_offset
+            yield (det, obs, err) if return_errors else (det, obs)
             remaining -= batch
-        det = np.concatenate(det_parts, axis=0)
-        obs = np.concatenate(obs_parts, axis=0)
-        if return_errors:
-            return det, obs, sp.vstack(err_parts).tocsr()
-        return det, obs
 
     def _sample_error_matrix(self, shots: int, rng: np.random.Generator) -> sp.csr_matrix:
         """Sparse (shots x errors) GF(2) sample of which error hit which shot."""
+        nerr = self.num_errors
         counts = rng.poisson(shots * self._rates)
         total = int(counts.sum())
-        if total == 0:
-            return sp.csr_matrix((shots, counts.size), dtype=np.uint8)
-        cols = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
-        row_draws = rng.integers(0, shots, size=total, dtype=np.int64)
-        # keep only odd-multiplicity (shot, error) pairs: duplicate darts cancel
-        key = row_draws * counts.size + cols
-        uniq, mult = np.unique(key, return_counts=True)
-        kept = uniq[(mult % 2) == 1]
-        rows = kept // counts.size
-        kept_cols = kept % counts.size
-        data = np.ones(kept.size, dtype=np.uint8)
-        return sp.csr_matrix(
-            (data, (rows, kept_cols)), shape=(shots, counts.size), dtype=np.uint8
-        )
+        row_parts, col_parts = [], []
+        if total:
+            cols = np.repeat(np.arange(nerr, dtype=np.int64), counts)
+            row_draws = rng.integers(0, shots, size=total, dtype=np.int64)
+            # keep only odd-multiplicity (shot, error) pairs: duplicate darts cancel
+            key = row_draws * nerr + cols
+            uniq, mult = np.unique(key, return_counts=True)
+            kept = uniq[(mult % 2) == 1]
+            row_parts.append(kept // nerr)
+            col_parts.append(kept % nerr)
+        if self._fair.size:
+            # fair coins flip independently with probability exactly 1/2;
+            # their dart rate is zero, so no duplicates with the kept cells
+            flips = rng.random((shots, self._fair.size)) < 0.5
+            frows, fcols = np.nonzero(flips)
+            row_parts.append(frows.astype(np.int64))
+            col_parts.append(self._fair[fcols])
+        if not row_parts:
+            return sp.csr_matrix((shots, nerr), dtype=np.uint8)
+        rows = np.concatenate(row_parts)
+        all_cols = np.concatenate(col_parts)
+        data = np.ones(rows.size, dtype=np.uint8)
+        return sp.csr_matrix((data, (rows, all_cols)), shape=(shots, nerr), dtype=np.uint8)
 
 
 def _signature_matrix(signatures, width: int) -> sp.csr_matrix:

@@ -32,3 +32,34 @@ def test_run_unknown_driver():
 def test_run_with_shots(capsys, tmp_path):
     assert cli.main(["run", "fig4a", "--shots", "2000", "--out", str(tmp_path)]) == 0
     assert (tmp_path / "fig4a.json").exists()
+
+
+def test_decode_engine_flags_apply_during_run_and_restore(capsys, tmp_path, monkeypatch):
+    from repro.experiments import ler
+
+    monkeypatch.setitem(ler.DECODE_DEFAULTS, "workers", 1)
+    monkeypatch.setitem(ler.DECODE_DEFAULTS, "dedup", True)
+    seen = {}
+    original = cli.run_driver
+
+    def spy(*args, **kwargs):
+        seen.update(ler.DECODE_DEFAULTS)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(cli, "run_driver", spy)
+    assert (
+        cli.main(
+            ["run", "fig10", "--out", str(tmp_path), "--decode-workers", "3", "--no-dedup"]
+        )
+        == 0
+    )
+    # flags were live while the driver ran ...
+    assert seen["workers"] == 3 and seen["dedup"] is False
+    # ... and restored afterwards so later in-process calls aren't tainted
+    assert ler.DECODE_DEFAULTS["workers"] == 1
+    assert ler.DECODE_DEFAULTS["dedup"] is True
+
+
+def test_decode_workers_must_be_positive():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "fig10", "--decode-workers", "0"])

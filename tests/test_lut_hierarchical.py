@@ -97,7 +97,7 @@ def test_hierarchical_hit_and_miss_latencies():
             [True, False, True],  # miss (needs 2 errors)
         ]
     )
-    out, stats = h.decode_batch(dets, rng=0)
+    out, stats = h.decode_batch_stats(dets, rng=0)
     assert stats.shots == 2
     assert stats.hits == 1
     assert stats.hit_rate == 0.5
@@ -113,7 +113,7 @@ def test_hierarchical_predictions_match_slow_decoder_on_miss():
         slow_decoder=slow,
     )
     syndrome = np.array([[True, False, True]])
-    out, stats = h.decode_batch(syndrome, rng=0)
+    out, stats = h.decode_batch_stats(syndrome, rng=0)
     assert stats.hits == 0
     assert bool(out[0, 0]) == bool(slow.decode(syndrome[0]) & 1)
 
