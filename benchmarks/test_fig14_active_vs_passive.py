@@ -6,6 +6,11 @@ d=15.  Defaults here cover d in {3, 5} on both systems for the Z basis (the X
 basis is symmetric by construction and covered by the test suite).
 """
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.figures import fig14_active_vs_passive

@@ -1,5 +1,10 @@
 """Fig. 15: cost of synchronization vs the ideal (never-desynchronized) system."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import fig15_cost_of_synchronization
 
 from _helpers import bench_distances, bench_seed, bench_shots, record, run_once

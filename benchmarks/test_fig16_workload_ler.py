@@ -1,5 +1,10 @@
 """Fig. 16: relative increase in final program LER, Passive vs Active."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import fig16_workload_ler_increase
 
 from _helpers import bench_seed, bench_shots, record, run_once

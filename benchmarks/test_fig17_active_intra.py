@@ -1,5 +1,10 @@
 """Fig. 17: the Active-intra policy is generally inferior to Active."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.figures import fig17_active_intra

@@ -1,5 +1,10 @@
 """Fig. 18: diminishing returns of spreading slack over extra rounds."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.figures import fig18_additional_rounds

@@ -1,5 +1,10 @@
 """Fig. 19: Active vs Extra Rounds vs Hybrid(eps) with unequal cycle times."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import fig19_policy_comparison
 
 from _helpers import bench_distances, bench_seed, bench_shots, record, run_once

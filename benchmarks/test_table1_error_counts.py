@@ -1,5 +1,10 @@
 """Table 1: logical-error counts, Passive vs Active, per distance and slack."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import table1_error_counts
 
 from _helpers import bench_distances, bench_seed, bench_shots, record, run_once

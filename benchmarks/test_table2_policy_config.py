@@ -1,5 +1,10 @@
 """Table 2: the worked configuration T_P=1000, T_P'=1325, tau=1000, eps=400."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import table2_policy_configuration
 
 from _helpers import bench_seed, bench_shots, record, run_once

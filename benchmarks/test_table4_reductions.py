@@ -1,5 +1,10 @@
 """Table 4: mean LER reduction of Active / Extra Rounds / Hybrid vs Passive."""
 
+import pytest
+
+#: long-running regression: excluded from the fast gate (scripts/check.sh)
+pytestmark = pytest.mark.slow
+
 from repro.experiments.figures import table4_mean_reductions
 
 from _helpers import bench_distances, bench_seed, bench_shots, record, run_once

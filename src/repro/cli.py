@@ -9,15 +9,23 @@ Usage::
     python -m repro.cli run fig14 --decode-workers 8      # sharded decoding
     python -m repro.cli run fig14 --no-dedup              # reference decode path
 
+    python -m repro.cli sweep run spec.json --store results/store --resume
+    python -m repro.cli sweep status spec.json --store results/store
+    python -m repro.cli sweep clear --store results/store --yes
+
 Each driver prints its rows and (with ``--out``) writes JSON next to the
-benchmark harness's output format.
+benchmark harness's output format.  The ``sweep`` subcommands drive the
+resumable orchestrator over a content-addressed result store (see
+``docs/SWEEPS.md`` for the spec format and store layout).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import inspect
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -84,10 +92,135 @@ def _jsonable(obj):
     return str(obj)
 
 
+def _resolve_store(path):
+    """Store root: explicit flag > REPRO_STORE_ROOT > ./.repro-store."""
+    from .store import ResultStore
+
+    root = path or os.environ.get("REPRO_STORE_ROOT") or ".repro-store"
+    return ResultStore(root)
+
+
+def _sweep_run(args) -> int:
+    from .experiments.sweeps import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_json(args.spec)
+    overrides = {}
+    if args.target_rse is not None:
+        overrides["target_rse"] = args.target_rse
+    if args.max_shots is not None:
+        overrides["max_shots"] = args.max_shots
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    if args.restart and args.resume:
+        print("--restart and --resume are mutually exclusive", file=sys.stderr)
+        return 2
+    store = _resolve_store(args.store)
+    # resuming is the default: it is bit-identical to a fresh run and never
+    # throws away checkpointed batches; --restart opts into recomputation
+    report = run_sweep(
+        spec,
+        store,
+        resume=not args.restart,
+        workers=args.workers,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    print(json.dumps(report.summary(), indent=2))
+    for outcome in report.outcomes:
+        rec = outcome.record
+        cfg = rec.get("config", {})
+        if rec.get("status") == "not_applicable":
+            print(
+                f"  d={cfg.get('distance')} tau={cfg.get('tau_ns')} "
+                f"{cfg.get('policy')}: not applicable"
+            )
+            continue
+        rates = [f"{e.rate:.3e}" for e in outcome.estimates]
+        src = "store" if outcome.new_shots == 0 else f"+{outcome.new_shots} shots"
+        print(
+            f"  d={cfg.get('distance')} tau={cfg.get('tau_ns')} "
+            f"{cfg.get('policy')}: shots={rec['shots']} ler={rates} [{src}]"
+        )
+    return 0
+
+
+def _sweep_status(args) -> int:
+    store = _resolve_store(args.store)
+    if args.spec is None:
+        print(json.dumps(store.summary(), indent=2))
+        return 0
+    from .experiments.sweeps import SweepSpec
+
+    spec = SweepSpec.from_json(args.spec)
+    for pt in spec.points():
+        key = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+        rec = store.get(key)
+        cfg = f"d={pt.config.distance} tau={pt.config.tau_ns} {pt.policy_name}"
+        if rec is None:
+            print(f"  {cfg}: missing")
+        elif rec.get("status") == "not_applicable":
+            print(f"  {cfg}: not applicable")
+        else:
+            state = "converged" if rec.get("converged") else "partial"
+            print(
+                f"  {cfg}: {state} shots={rec['shots']} batches={rec['batches']} "
+                f"failures={rec['failures']}"
+            )
+    return 0
+
+
+def _sweep_clear(args) -> int:
+    store = _resolve_store(args.store)
+    count = len(store)
+    if not args.yes:
+        print(f"store {store.root} holds {count} records; pass --yes to delete them")
+        return 1
+    removed = store.clear()
+    print(f"removed {removed} records from {store.root}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available drivers")
+
+    sweepp = sub.add_parser(
+        "sweep", help="resumable store-backed sweeps (docs/SWEEPS.md)"
+    )
+    sweep_sub = sweepp.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser("run", help="run or continue a sweep spec")
+    sweep_run.add_argument("spec", type=Path, help="sweep spec JSON file")
+    sweep_run.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue partial points from their last checkpoint (the default;"
+        " kept as an explicit flag for scripts)",
+    )
+    sweep_run.add_argument(
+        "--restart",
+        action="store_true",
+        help="discard partial (non-converged) checkpoints and recompute them"
+        " from batch 0; converged points are still served from the store",
+    )
+    sweep_run.add_argument("--workers", type=int, default=1, metavar="N")
+    sweep_run.add_argument(
+        "--target-rse",
+        type=float,
+        default=None,
+        help="override the spec's relative-half-width convergence target",
+    )
+    sweep_run.add_argument("--max-shots", type=int, default=None)
+    sweep_run.add_argument("--seed", type=int, default=None)
+    sweep_status = sweep_sub.add_parser("status", help="inspect a store / spec")
+    sweep_status.add_argument("spec", nargs="?", type=Path, default=None)
+    sweep_status.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_clear = sweep_sub.add_parser("clear", help="delete every stored record")
+    sweep_clear.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_clear.add_argument("--yes", action="store_true")
+
     runp = sub.add_parser("run", help="run one driver (or 'all')")
     runp.add_argument("figure", help="driver key from 'list', or 'all'")
     runp.add_argument("--shots", type=int, default=None)
@@ -114,6 +247,13 @@ def main(argv=None) -> int:
     if args.command == "list":
         list_drivers()
         return 0
+
+    if args.command == "sweep":
+        if args.sweep_command == "run":
+            return _sweep_run(args)
+        if args.sweep_command == "status":
+            return _sweep_status(args)
+        return _sweep_clear(args)
 
     # route the decode-engine knobs to every driver via the process defaults,
     # restoring them afterwards so repeated in-process invocations don't

@@ -134,6 +134,7 @@ class BatchDecodeStats:
     batches: int = 0
     distinct_syndromes: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
     decode_calls: int = 0
     decode_seconds: float = 0.0
 
@@ -141,6 +142,12 @@ class BatchDecodeStats:
     def dedup_hit_rate(self) -> float:
         """Fraction of shots whose decode was avoided by grouping/memoization."""
         return 1.0 - self.decode_calls / self.shots if self.shots else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Memo-cache hit rate over the distinct syndromes that consulted it."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     @property
     def shots_per_second(self) -> float:
@@ -171,6 +178,14 @@ class Decoder:
     #: the dedup path extracts all defect lists in one vectorized ``nonzero``
     #: instead of one numpy call per distinct syndrome.
     _decode_one_defects = None
+
+    #: optional whole-matrix fast path: ``_decode_rows(rows, counts) -> masks``
+    #: taking the full ``(distinct, num_detectors)`` bool matrix and per-row
+    #: shot multiplicities, returning one observable bitmask per row.  Used
+    #: by the dedup path (when no memo cache is attached) so a subclass can
+    #: vectorize across the whole distinct-syndrome set — e.g. the
+    #: predecoder's batched local pass.
+    _decode_rows = None
 
     #: set False by subclasses whose per-decode bookkeeping (e.g. offload
     #: statistics weighted by multiplicity) would be silently skipped on a
@@ -236,6 +251,15 @@ def decode_batch_dedup(
     uniq, inverse = _unique_rows(packed)
     counts = np.bincount(inverse, minlength=uniq.shape[0]).tolist()
     rows = unpack_bits(uniq, det.shape[1])
+    decode_rows = getattr(decoder, "_decode_rows", None)
+    if decode_rows is not None and cache is None:
+        # whole-matrix fast path (e.g. the vectorized predecoder): one call
+        # for every distinct syndrome, no per-row python dispatch
+        row_masks = decode_rows(rows, counts)
+        if stats is not None:
+            stats.distinct_syndromes += uniq.shape[0]
+            stats.decode_calls += uniq.shape[0]
+        return expand_obs_masks(np.asarray(row_masks, dtype=np.uint64), nobs)[inverse]
     decode_defects = getattr(decoder, "_decode_one_defects", None)
     if decode_defects is not None:
         # one vectorized nonzero for every distinct row instead of one per row
@@ -253,6 +277,8 @@ def decode_batch_dedup(
                     stats.cache_hits += 1
                 masks.append(mask)
                 continue
+            if stats is not None:
+                stats.cache_misses += 1
         if decode_defects is not None:
             mask = decode_defects(defect_cols[starts[i] : starts[i + 1]], counts[i])
         else:
@@ -281,12 +307,21 @@ class BatchDecodingEngine:
         *,
         dedup: bool = True,
         cache_size: int = 0,
+        cache: SyndromeCache | None = None,
     ):
         self.decoder = decoder
         self.dedup = dedup
         # the memo cache only exists on the dedup path; the per-shot
-        # reference loop must stay a true per-shot loop
-        self.cache = SyndromeCache(cache_size) if (dedup and cache_size > 0) else None
+        # reference loop must stay a true per-shot loop.  An explicit
+        # ``cache`` instance overrides ``cache_size`` — sweep orchestration
+        # passes one shared per-configuration-family cache so recurring
+        # syndromes persist across sweep points, not just across batches.
+        if not dedup:
+            self.cache = None
+        elif cache is not None:
+            self.cache = cache
+        else:
+            self.cache = SyndromeCache(cache_size) if cache_size > 0 else None
         self.stats = BatchDecodeStats()
 
     def decode_batch(self, detectors: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
 
 from .batch import Decoder
 from .graph import MatchingGraph
@@ -64,6 +65,7 @@ class Predecoder:
             if u == self._boundary and graph.edge_weight[e] < best[v]:
                 best[v] = graph.edge_weight[e]
                 self._boundary_edge[v] = e
+        self._batch_tables = None
 
     def neighbours(self, node: int, defect_set: set[int]) -> list[tuple[int, int]]:
         """(edge, other-defect) pairs among this defect's direct neighbours."""
@@ -106,6 +108,115 @@ class Predecoder:
                     removed += 1
         return residual, mask, removed
 
+    def _ensure_batch_tables(self):
+        """Sparse tables for :meth:`apply_batch` (built once per graph).
+
+        ``adj``  — boolean detector-to-detector adjacency (boundary excluded),
+        ``nbr``  — ``nbr[v, n] = v + 1`` where v ~ n, so a row-matrix product
+        sums the 1-based indices of a node's defect neighbours (which *is*
+        the unique neighbour's index when the count is one), and
+        ``first_edge`` — ``first_edge[u, v]`` = 1 + the first edge id in u's
+        adjacency order connecting u to v, matching the edge the scalar pass
+        picks for a pair removal triggered at u.
+        """
+        if self._batch_tables is not None:
+            return self._batch_tables
+        nd = self.graph.num_detectors
+        pair_u, pair_v, first = [], [], {}
+        for node in range(nd):
+            for e in self._eids[self._indptr[node] : self._indptr[node + 1]]:
+                e = int(e)
+                other = int(self._ev[e]) if int(self._eu[e]) == node else int(self._eu[e])
+                if other == self._boundary:
+                    continue
+                if (node, other) not in first:
+                    first[(node, other)] = e
+                    pair_u.append(node)
+                    pair_v.append(other)
+        fe = np.array([first[(u, v)] for u, v in zip(pair_u, pair_v)], dtype=np.int64)
+        pair_u = np.array(pair_u, dtype=np.int64)
+        pair_v = np.array(pair_v, dtype=np.int64)
+        adj = sp.csr_matrix(
+            (np.ones(pair_u.size, dtype=np.int64), (pair_u, pair_v)),
+            shape=(nd, nd),
+        )
+        nbr = sp.csr_matrix(
+            (pair_u + 1, (pair_u, pair_v)), shape=(nd, nd), dtype=np.int64
+        )
+        first_edge = sp.csr_matrix((fe + 1, (pair_u, pair_v)), shape=(nd, nd))
+        self._batch_tables = (adj, nbr, first_edge)
+        return self._batch_tables
+
+    def apply_batch(
+        self, rows: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`apply` over a ``(n, num_detectors)`` bool matrix.
+
+        Returns ``(residuals, masks, removed)`` with one row/entry per input
+        row, bit-identical to calling :meth:`apply` on each row.  The scalar
+        pass only ever removes defects whose entire defect-neighbourhood is
+        removed with them (an isolated defect, or a mutually-exclusive pair),
+        so no removal changes any other defect's classification — the whole
+        pass is a simultaneous function of the initial defect sets and
+        vectorizes exactly: two sparse matrix products classify every defect
+        of every row at once.
+        """
+        rows = np.asarray(rows, dtype=bool)
+        if rows.ndim != 2 or rows.shape[1] != self.graph.num_detectors:
+            raise ValueError(
+                f"expected (n, {self.graph.num_detectors}) detector rows, "
+                f"got shape {rows.shape}"
+            )
+        n = rows.shape[0]
+        residual = rows.copy()
+        masks = np.zeros(n, dtype=np.uint64)
+        removed = np.zeros(n, dtype=np.int64)
+        rnz, cnz = np.nonzero(rows)
+        if rnz.size == 0:
+            return residual, masks, removed
+        adj, nbr, first_edge = self._ensure_batch_tables()
+        nd = self.graph.num_detectors
+        rint = sp.csr_matrix(
+            (np.ones(rnz.size, dtype=np.int64), (rnz, cnz)), shape=(n, nd)
+        )
+        # distinct-defect-neighbour count and 1-based neighbour-index sum,
+        # evaluated at every defect position
+        counts = np.asarray((rint @ adj)[rnz, cnz]).ravel()
+        nbr_sum = np.asarray((rint @ nbr)[rnz, cnz]).ravel()
+
+        eobs = self._eobs.astype(np.uint64)
+
+        # isolated defects route to the boundary when a boundary edge exists
+        iso = np.flatnonzero(counts == 0)
+        iso_edge = self._boundary_edge[cnz[iso]]
+        iso = iso[iso_edge >= 0]
+        if iso.size:
+            residual[rnz[iso], cnz[iso]] = False
+            np.add.at(removed, rnz[iso], 1)
+            np.bitwise_xor.at(masks, rnz[iso], eobs[self._boundary_edge[cnz[iso]]])
+
+        # mutually-exclusive pairs: both endpoints have exactly one defect
+        # neighbour (each other); the scalar loop removes the pair when it
+        # reaches min(u, v), taking the first edge in that node's adjacency
+        single = np.flatnonzero(counts == 1)
+        if single.size:
+            partner = nbr_sum[single] - 1
+            # the partner is itself a defect of the same row, so its flat
+            # (row, node) coordinate is guaranteed to be present here
+            flat = rnz * np.int64(nd) + cnz  # sorted: np.nonzero row-major order
+            back = np.searchsorted(flat, rnz[single] * np.int64(nd) + partner)
+            emit = (counts[back] == 1) & (cnz[single] < partner)
+            pr = rnz[single][emit]
+            pu = cnz[single][emit]
+            pv = partner[emit]
+            if pr.size:
+                residual[pr, pu] = False
+                residual[pr, pv] = False
+                np.add.at(removed, pr, 2)
+                pair_edges = np.asarray(first_edge[pu, pv]).ravel() - 1
+                np.bitwise_xor.at(masks, pr, eobs[pair_edges])
+        return residual, masks, removed
+
 
 class PredecodedDecoder(Decoder):
     """Predecoder in front of any ``decode(detectors) -> mask`` decoder.
@@ -139,3 +250,21 @@ class PredecodedDecoder(Decoder):
         else:
             self.stats.fully_predecoded_shots += multiplicity
         return mask
+
+    def _decode_rows(self, rows: np.ndarray, counts) -> np.ndarray:
+        """Vectorized dedup path: one local pass over every distinct syndrome.
+
+        Statistics stay exact under dedup (weighted by shot multiplicity, as
+        in :meth:`_decode_one`); only the rare hard cores that survive the
+        local pass reach the slow decoder, one residual row at a time.
+        """
+        mult = np.asarray(counts, dtype=np.int64)
+        residuals, masks, removed = self.predecoder.apply_batch(rows)
+        self.stats.shots += int(mult.sum())
+        self.stats.defects_total += int((rows.sum(axis=1, dtype=np.int64) * mult).sum())
+        self.stats.defects_removed += int((removed * mult).sum())
+        leftover = residuals.any(axis=1)
+        self.stats.fully_predecoded_shots += int(mult[~leftover].sum())
+        for i in np.flatnonzero(leftover):
+            masks[i] ^= np.uint64(self.slow.decode(residuals[i]))
+        return masks

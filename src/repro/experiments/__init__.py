@@ -1,18 +1,34 @@
-"""Experiment runners: LER pipelines, statistics, per-figure data generation."""
+"""Experiment runners: LER pipelines, sweeps, statistics, figure data."""
 
-from .ler import LerResult, SurgeryLerConfig, prepared_pipeline, run_surgery_ler
-from .parallel import SweepTask, merge_results, run_sweep_parallel
+from .ler import (
+    LerResult,
+    PipelinePayload,
+    SurgeryLerConfig,
+    pipeline_payload,
+    prepared_pipeline,
+    run_surgery_ler,
+)
+from .parallel import SweepTask, merge_results, run_sharded_ler, run_sweep_parallel
 from .stats import RateEstimate, ratio_of_rates, wilson_interval
+from .sweeps import PolicySpec, SweepReport, SweepSpec, ensure_point, run_sweep
 
 __all__ = [
     "LerResult",
+    "PipelinePayload",
     "SurgeryLerConfig",
+    "pipeline_payload",
     "prepared_pipeline",
     "run_surgery_ler",
     "SweepTask",
     "merge_results",
+    "run_sharded_ler",
     "run_sweep_parallel",
     "RateEstimate",
     "ratio_of_rates",
     "wilson_interval",
+    "PolicySpec",
+    "SweepReport",
+    "SweepSpec",
+    "ensure_point",
+    "run_sweep",
 ]

@@ -64,6 +64,23 @@ __all__ = [
     "table5_neutral_atom_rounds",
 ]
 
+def _sweep_rng(rng):
+    """Resolve ``rng`` unless store read-through should see the raw seed.
+
+    :func:`sweep_policies` only uses the result store when it receives an
+    *integer* seed (content-addressed keys cannot be derived from Generator
+    state), so figure drivers that loop over several ``sweep_policies``
+    calls must not eagerly resolve an int seed into a Generator while a
+    store is active.  Without an active store this is exactly
+    :func:`repro._util.resolve_rng`.
+    """
+    from ..store import default_store
+
+    if isinstance(rng, int) and not isinstance(rng, bool) and default_store() is not None:
+        return rng
+    return resolve_rng(rng)
+
+
 #: Sherbrooke qubits used in the paper's footnote 1 (T1=330.77us, T2=72.68us)
 SHERBROOKE = HardwareConfig(
     name="sherbrooke",
@@ -358,9 +375,26 @@ def sweep_policies(
     base_rounds: int | None = None,
     policy_kwargs: dict | None = None,
     decoder: str = "unionfind",
+    store=None,
     rng=None,
 ) -> list[PolicySweepPoint]:
-    """Run an LER sweep over policies x distances x slacks."""
+    """Run an LER sweep over policies x distances x slacks.
+
+    When a result store is active (an explicit ``store``, one set with
+    :func:`repro.store.set_default_store`, or the ``REPRO_STORE_ROOT``
+    environment knob) *and* ``rng`` is an integer seed, every point reads
+    through the store: already-decoded points cost zero new shots, new
+    points are decoded and persisted.  Store-backed points draw from
+    per-point seed streams keyed by content hash (required for
+    order-independent caching), so their numbers differ from the shared
+    sequential stream the storeless path samples — pick one mode per study.
+    """
+    if store is None:
+        from ..store import default_store
+
+        store = default_store()
+    use_store = store is not None and isinstance(rng, int) and not isinstance(rng, bool)
+    seed = rng if use_store else None
     rng = resolve_rng(rng)
     out = []
     for d in distances:
@@ -378,6 +412,31 @@ def sweep_policies(
                     base_rounds=base_rounds,
                     policy_args=tuple(sorted(kwargs.items())),
                 )
+                if use_store:
+                    from .sweeps import ensure_point, point_record_estimates
+
+                    record = ensure_point(
+                        store,
+                        config,
+                        name,
+                        tuple(sorted(kwargs.items())),
+                        decoder=decoder,
+                        seed=seed,
+                        batch_shots=shots,
+                    )
+                    if record.get("status") == "not_applicable":
+                        continue
+                    out.append(
+                        PolicySweepPoint(
+                            distance=d,
+                            tau_ns=float(tau),
+                            policy=name,
+                            shots=int(record["shots"]),
+                            estimates=point_record_estimates(record),
+                            plan=dict(record.get("plan_summary", {})),
+                        )
+                    )
+                    continue
                 try:
                     res = run_surgery_ler(config, policy, shots, rng, decoder=decoder)
                 except PolicyNotApplicableError:
@@ -506,7 +565,7 @@ def table4_mean_reductions(
     T_P' representing 1/2/3 extra CNOT layers (1050/1100/1150 ns), on
     Google-like coherence times.
     """
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     hardware = hardware or GOOGLE.with_cycle_time(1000.0)
     rows = []
     for d in distances:
@@ -552,7 +611,7 @@ def fig16_workload_ler_increase(
     rng=None,
 ):
     """Relative program-LER increase per workload for Passive/Active."""
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     points = sweep_policies(
         ("ideal", "active", "passive"), (distance,), (500.0, 1000.0), shots,
         hardware=hardware, rng=rng,
@@ -619,7 +678,7 @@ def fig18_additional_rounds(
 ):
     """(a) Active benefit when slack spreads over d+1+R rounds;
     (b) LER growth with rounds in the absence of any slack."""
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     reduction_rows = []
     ler_rows = []
     for r in extra_rounds:
@@ -661,7 +720,7 @@ def fig19_policy_comparison(
     Paper configuration: T_P = 1000 ns, T_P' in {1050, 1100, 1150} ns (one to
     three extra CNOT layers), averaged over the cycle-time combinations.
     """
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     hardware = hardware or GOOGLE.with_cycle_time(1000.0)
     accum: dict[tuple[str, float], list[float]] = {}
     for t_pp in t_pp_values_ns:
@@ -744,7 +803,7 @@ def fig21_neutral_atom(
     rng=None,
 ):
     """Reduction vs Passive on a QuEra-like system (Active, Hybrid eps)."""
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     hw = QUERA.with_cycle_time(2.0e6)
     t_pp = t_pp_ms * 1e6
     rows = []
@@ -914,7 +973,7 @@ def table2_policy_configuration(
     T_P = 1000 ns, T_P' = 1325 ns, tau = 1000 ns, eps = 400 ns (the paper
     uses d = 7 and 20M shots; distance and shots scale down here).
     """
-    rng = resolve_rng(rng)
+    rng = _sweep_rng(rng)
     hw = GOOGLE.with_cycle_time(1000.0)
     rows = []
     for name, kwargs in (

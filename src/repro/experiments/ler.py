@@ -38,8 +38,11 @@ from .stats import RateEstimate
 __all__ = [
     "SurgeryLerConfig",
     "LerResult",
+    "PipelinePayload",
     "run_surgery_ler",
     "prepared_pipeline",
+    "pipeline_payload",
+    "pipeline_analysis_count",
     "clear_pipeline_cache",
     "DECODE_DEFAULTS",
 ]
@@ -47,6 +50,17 @@ __all__ = [
 #: process-wide LRU cache of analyzed configurations (bounded; see
 #: ``PIPELINE_CACHE_SIZE``)
 _PIPELINE_CACHE: "OrderedDict[tuple, _Pipeline]" = OrderedDict()
+
+#: process-wide count of full circuit analyses (surgery synthesis + DEM
+#: extraction) performed by this process.  Shard workers report the delta per
+#: task so orchestration layers can verify that warm pipeline handoffs
+#: actually avoid re-analysis (see ``benchmarks/test_sweep_resume.py``).
+PIPELINE_ANALYSES: int = 0
+
+
+def pipeline_analysis_count() -> int:
+    """Number of full circuit analyses this process has performed."""
+    return PIPELINE_ANALYSES
 
 #: maximum number of analyzed configurations kept alive at once; consulted on
 #: every :func:`prepared_pipeline` call so tests/sweeps may adjust it
@@ -109,6 +123,8 @@ class _Pipeline:
     """Cached circuit analysis: matching graph + sampler + decoder."""
 
     def __init__(self, config: SurgeryLerConfig, policy: _BasePolicy):
+        global PIPELINE_ANALYSES
+        PIPELINE_ANALYSES += 1
         noise = NoiseModel(hardware=config.hardware, p=config.p)
         scenario = SyncScenario(
             t_p_ns=config.hardware.cycle_time_ns,
@@ -129,12 +145,32 @@ class _Pipeline:
             include_seam_detector=config.include_seam_detector,
         )
         self.artifacts = surgery_experiment(spec)
-        self.dem = circuit_to_dem(self.artifacts.circuit)
-        basis = self.artifacts.detector_basis
-        self.graph: MatchingGraph = build_matching_graph(self.dem, basis=basis)
-        self.sampler = DemSampler(self.dem)
+        self._summary = None
+        self._init_decode(circuit_to_dem(self.artifacts.circuit), self.artifacts.detector_basis)
+
+    @classmethod
+    def from_payload(cls, payload: "PipelinePayload") -> "_Pipeline":
+        """Rebuild a decode-ready pipeline from a serialized handoff.
+
+        Skips circuit synthesis and DEM extraction entirely (the expensive
+        analysis steps); only the matching graph and sampler are rebuilt.
+        ``plan``/``artifacts`` are unavailable on this path — decode-side
+        consumers use :meth:`plan_summary`, which the payload carries.
+        """
+        self = cls.__new__(cls)
+        self.plan = None
+        self.artifacts = None
+        self._summary = dict(payload.plan_summary)
+        self._init_decode(payload.dem, payload.basis)
+        return self
+
+    def _init_decode(self, dem, basis: str) -> None:
+        self.dem = dem
+        self.basis = basis
+        self.graph: MatchingGraph = build_matching_graph(dem, basis=basis)
+        self.sampler = DemSampler(dem)
         self._detector_mask = np.array(
-            [b == basis for b in self.dem.detector_basis], dtype=bool
+            [b == basis for b in dem.detector_basis], dtype=bool
         )
         self._mask_is_identity = bool(self._detector_mask.all())
         self._decoders: dict[str, object] = {}
@@ -165,14 +201,16 @@ class _Pipeline:
         return det if self._mask_is_identity else det[:, self._detector_mask]
 
     def plan_summary(self) -> dict:
-        return {
-            "policy": self.plan.policy,
-            "extra_rounds_p": self.plan.extra_rounds_p,
-            "extra_rounds_pp": self.plan.extra_rounds_pp,
-            "idle_ns": self.plan.idle_ns,
-            "rounds_p": self.plan.timeline_p.num_rounds,
-            "rounds_pp": self.plan.timeline_pp.num_rounds,
-        }
+        if self._summary is None:
+            self._summary = {
+                "policy": self.plan.policy,
+                "extra_rounds_p": self.plan.extra_rounds_p,
+                "extra_rounds_pp": self.plan.extra_rounds_pp,
+                "idle_ns": self.plan.idle_ns,
+                "rounds_p": self.plan.timeline_p.num_rounds,
+                "rounds_pp": self.plan.timeline_pp.num_rounds,
+            }
+        return dict(self._summary)
 
 
 def _policy_cache_key(policy: _BasePolicy) -> tuple:
@@ -202,6 +240,37 @@ def clear_pipeline_cache() -> None:
     _PIPELINE_CACHE.clear()
 
 
+@dataclass(frozen=True)
+class PipelinePayload:
+    """Serializable result of one circuit analysis, for worker handoff.
+
+    Carries everything a shard worker needs to decode — the detector error
+    model, its CSS basis and the plan summary — without the circuit or the
+    policy plan, so the expensive analysis (surgery synthesis + DEM
+    extraction) runs once in the coordinating process instead of once per
+    worker.  ``key`` is the pipeline identity used for worker-side caching
+    (same key as the in-process pipeline LRU).
+    """
+
+    key: tuple
+    config: SurgeryLerConfig
+    dem: object
+    basis: str
+    plan_summary: dict
+
+
+def pipeline_payload(config: SurgeryLerConfig, policy: _BasePolicy) -> PipelinePayload:
+    """Analyze ``config`` (or reuse the cache) and package it for handoff."""
+    pipe = prepared_pipeline(config, policy)
+    return PipelinePayload(
+        key=(config, _policy_cache_key(policy)),
+        config=config,
+        dem=pipe.dem,
+        basis=pipe.basis,
+        plan_summary=pipe.plan_summary(),
+    )
+
+
 def _pad_predictions(predictions: np.ndarray, nobs: int) -> np.ndarray:
     """Align decoder predictions to ``nobs`` observable columns.
 
@@ -228,6 +297,8 @@ def run_surgery_ler(
     dedup: bool | None = None,
     cache_size: int | None = None,
     decode_workers: int | None = None,
+    pipeline: "_Pipeline | None" = None,
+    syndrome_cache=None,
 ) -> LerResult:
     """Sample and decode ``shots`` shots of one configuration, streaming.
 
@@ -239,11 +310,17 @@ def run_surgery_ler(
     same seed).  The sharded path draws from ``SeedSequence.spawn`` child
     streams, so its results are statistically equivalent to — but not
     bit-identical with — the serial single-stream path.
+
+    ``pipeline`` injects a pre-analyzed pipeline (from
+    :func:`prepared_pipeline` or :meth:`_Pipeline.from_payload`) and
+    ``syndrome_cache`` a shared cross-point :class:`SyndromeCache`; both
+    force the serial in-process path (shard workers use them so a worker
+    never re-shards or re-analyzes).
     """
     dedup = DECODE_DEFAULTS["dedup"] if dedup is None else dedup
     cache_size = DECODE_DEFAULTS["cache_size"] if cache_size is None else cache_size
     workers = DECODE_DEFAULTS["workers"] if decode_workers is None else decode_workers
-    if workers > 1 and shots > 1:
+    if workers > 1 and shots > 1 and pipeline is None and syndrome_cache is None:
         from .parallel import run_sharded_ler  # local import: avoids a cycle
 
         # the shard count stays DEFAULT_NUM_SHARDS regardless of `workers`:
@@ -261,9 +338,9 @@ def run_surgery_ler(
         )
 
     rng = resolve_rng(rng)
-    pipe = prepared_pipeline(config, policy)
+    pipe = pipeline if pipeline is not None else prepared_pipeline(config, policy)
     engine = BatchDecodingEngine(
-        pipe.decoder(decoder), dedup=dedup, cache_size=cache_size
+        pipe.decoder(decoder), dedup=dedup, cache_size=cache_size, cache=syndrome_cache
     )
     nobs = pipe.dem.num_observables
     failures = np.zeros(nobs, dtype=np.int64)
@@ -282,6 +359,8 @@ def run_surgery_ler(
             "distinct_syndromes": stats.distinct_syndromes,
             "decode_calls": stats.decode_calls,
             "cache_hits": stats.cache_hits,
+            "cache_misses": stats.cache_misses,
+            "cache_hit_rate": stats.cache_hit_rate,
             "dedup_hit_rate": stats.dedup_hit_rate,
             "decode_seconds": stats.decode_seconds,
         },

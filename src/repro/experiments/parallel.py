@@ -22,12 +22,23 @@ syndrome dedup, so a shard's cost scales with its *distinct* syndromes.
 
 from __future__ import annotations
 
+import pickle
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from .._util import spawn_seeds
 from ..core.policies import _BasePolicy, make_policy, policy_fields
-from .ler import LerResult, SurgeryLerConfig, run_surgery_ler
+from ..decoders.batch import SyndromeCache
+from . import ler as _ler
+from .ler import (
+    DECODE_DEFAULTS,
+    LerResult,
+    PipelinePayload,
+    SurgeryLerConfig,
+    pipeline_payload,
+    run_surgery_ler,
+)
 from .stats import RateEstimate
 
 __all__ = [
@@ -36,8 +47,68 @@ __all__ = [
     "run_sharded_ler",
     "shard_tasks",
     "merge_results",
+    "warm_worker",
+    "reset_warm_state",
+    "execute_tasks",
     "DEFAULT_NUM_SHARDS",
 ]
+
+#: worker-process cache: pipeline key -> decode-ready pipeline, installed by
+#: :func:`warm_worker` (pool initializer) so shard workers skip circuit
+#: analysis entirely when the coordinator hands them a serialized DEM;
+#: bounded like the in-process pipeline LRU
+_WARM_PIPELINES: "OrderedDict[tuple, object]" = OrderedDict()
+
+#: worker-process cache: (pipeline key, decoder name) -> SyndromeCache
+#: shared by every task of that configuration family this worker executes
+#: (cross-batch and cross-sweep-point memoization).  The decoder name is
+#: part of the key: different decoders may map the same syndrome to
+#: different observable masks, and a shared entry would leak one decoder's
+#: answers into the other's results.
+_WARM_CACHES: "OrderedDict[tuple, SyndromeCache]" = OrderedDict()
+
+
+def _install_payload(payload: PipelinePayload) -> None:
+    """Install one payload into this process's warm-pipeline LRU."""
+    if payload.key not in _WARM_PIPELINES:
+        _WARM_PIPELINES[payload.key] = _ler._Pipeline.from_payload(payload)
+    _WARM_PIPELINES.move_to_end(payload.key)
+    limit = max(1, _ler.PIPELINE_CACHE_SIZE)
+    while len(_WARM_PIPELINES) > limit:
+        _WARM_PIPELINES.popitem(last=False)
+
+
+def warm_worker(payload_blobs: tuple[bytes, ...]) -> None:
+    """Process-pool initializer: pre-install pipelines from pickled payloads.
+
+    Runs once per worker process.  Each blob is a pickled
+    :class:`~repro.experiments.ler.PipelinePayload`; rebuilding from it
+    skips surgery synthesis and DEM extraction, so a warmed worker performs
+    zero circuit analyses no matter how many shards it decodes.
+    """
+    for blob in payload_blobs:
+        _install_payload(pickle.loads(blob))
+
+
+def _family_cache(pipeline_key: tuple, decoder: str, size: int) -> SyndromeCache | None:
+    """This process's persistent syndrome cache for one (family, decoder)."""
+    if size <= 0:
+        return None
+    key = (pipeline_key, decoder)
+    cache = _WARM_CACHES.get(key)
+    if cache is None:
+        cache = _WARM_CACHES[key] = SyndromeCache(size)
+    _WARM_CACHES.move_to_end(key)
+    limit = max(1, _ler.PIPELINE_CACHE_SIZE)
+    while len(_WARM_CACHES) > limit:
+        _WARM_CACHES.popitem(last=False)
+    return cache
+
+
+def reset_warm_state() -> None:
+    """Drop warm pipelines and family caches (tests, memory pressure)."""
+    _WARM_PIPELINES.clear()
+    _WARM_CACHES.clear()
 
 #: default shard count for one configuration: fixed (never derived from the
 #: worker count or host CPU topology) so a seeded result is reproducible on
@@ -63,13 +134,34 @@ class SweepTask:
     dedup: bool | None = None
     batch_size: int = 65536
     cache_size: int | None = None
+    #: when set, the executing worker looks this key up in its warm-pipeline
+    #: cache (see :func:`warm_worker`) instead of re-analyzing the circuit
+    pipeline_key: tuple | None = None
+    #: pickled PipelinePayload for lazy warming: lets a long-lived pool (one
+    #: per sweep run, spanning many configurations) install the pipeline on
+    #: first contact instead of requiring a pool-initializer per payload
+    payload_blob: bytes | None = None
 
 
 def _run_task(task: SweepTask) -> LerResult:
     policy = make_policy(task.policy_name, **dict(task.policy_kwargs))
+    pipeline = cache = None
+    if task.pipeline_key is not None:
+        if task.pipeline_key not in _WARM_PIPELINES and task.payload_blob is not None:
+            warm_worker((task.payload_blob,))
+        pipeline = _WARM_PIPELINES.get(task.pipeline_key)
+        if pipeline is not None and task.dedup is not False:
+            cache = _family_cache(
+                task.pipeline_key,
+                task.decoder,
+                DECODE_DEFAULTS["cache_size"]
+                if task.cache_size is None
+                else task.cache_size,
+            )
+    analyses_before = _ler.PIPELINE_ANALYSES
     # decode_workers=1: a worker never re-shards, whatever the process-wide
     # DECODE_DEFAULTS say
-    return run_surgery_ler(
+    result = run_surgery_ler(
         task.config,
         policy,
         task.shots,
@@ -79,20 +171,52 @@ def _run_task(task: SweepTask) -> LerResult:
         batch_size=task.batch_size,
         cache_size=task.cache_size,
         decode_workers=1,
+        pipeline=pipeline,
+        syndrome_cache=cache,
     )
+    # analyses this task actually triggered in this process (0 when served
+    # from the warm handoff or the in-process pipeline LRU)
+    result.decode_stats["pipeline_analyses"] = _ler.PIPELINE_ANALYSES - analyses_before
+    return result
+
+
+def execute_tasks(pool: ProcessPoolExecutor, tasks: list[SweepTask]) -> list[LerResult]:
+    """Run tasks on a caller-owned executor (e.g. one pool per sweep run).
+
+    Workers warm themselves lazily from each task's ``payload_blob`` on
+    first contact with a configuration, so a single long-lived pool keeps
+    its pipelines and per-family syndrome caches alive across every batch,
+    convergence round and sweep point it serves.
+    """
+    return list(pool.map(_run_task, tasks))
 
 
 def run_sweep_parallel(
     tasks: list[SweepTask],
     *,
     max_workers: int | None = None,
+    payloads: "list[PipelinePayload] | None" = None,
 ) -> list[LerResult]:
-    """Execute tasks across a process pool; order follows the input list."""
+    """Execute tasks across a process pool; order follows the input list.
+
+    ``payloads`` warms every worker with pre-analyzed pipelines
+    (:func:`warm_worker`); tasks whose ``pipeline_key`` matches a payload
+    then skip circuit analysis and share one persistent
+    :class:`SyndromeCache` per (configuration family, decoder).  On the
+    serial path the payloads are installed in-process, without the pickle
+    round-trip.
+    """
     if not tasks:
         return []
     if max_workers == 1 or len(tasks) == 1:
+        for payload in payloads or []:
+            _install_payload(payload)
         return [_run_task(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+    kwargs = {}
+    if payloads:
+        blobs = tuple(pickle.dumps(p) for p in payloads)
+        kwargs = {"initializer": warm_worker, "initargs": (blobs,)}
+    with ProcessPoolExecutor(max_workers=max_workers, **kwargs) as pool:
         return list(pool.map(_run_task, tasks))
 
 
@@ -108,6 +232,7 @@ def shard_tasks(
     dedup: bool | None = None,
     batch_size: int = 65536,
     cache_size: int | None = None,
+    pipeline_key: tuple | None = None,
 ) -> list[SweepTask]:
     """Split one configuration's shots into independently seeded shard tasks.
 
@@ -136,6 +261,7 @@ def shard_tasks(
                 dedup=dedup,
                 batch_size=batch_size,
                 cache_size=cache_size,
+                pipeline_key=pipeline_key,
             )
         )
     return tasks
@@ -153,6 +279,7 @@ def run_sharded_ler(
     dedup: bool | None = None,
     batch_size: int = 65536,
     cache_size: int | None = None,
+    payload: "PipelinePayload | None | bool" = None,
 ) -> LerResult:
     """Decode one configuration's shots sharded across a process pool.
 
@@ -160,7 +287,17 @@ def run_sharded_ler(
     ``rng`` and ``num_shards`` (the shard seeds are spawned up front and the
     pooled counts are order-independent sums).  ``rng`` should be an int
     seed, ``SeedSequence`` or ``Generator``; ``None`` draws fresh entropy.
+
+    ``payload`` hands workers a pre-analyzed pipeline so circuit analysis
+    runs once (in this process) instead of once per worker: pass a
+    :class:`~repro.experiments.ler.PipelinePayload`, or ``True`` to build
+    one here from the pipeline cache.  Without it each worker falls back to
+    analyzing the configuration itself on its first shard.  The decoded
+    results are identical either way; the per-shard
+    ``decode_stats["pipeline_analyses"]`` totals show the difference.
     """
+    if payload is True:
+        payload = pipeline_payload(config, policy)
     tasks = shard_tasks(
         config,
         policy.name,
@@ -172,6 +309,7 @@ def run_sharded_ler(
         dedup=dedup,
         batch_size=batch_size,
         cache_size=cache_size,
+        pipeline_key=None if payload is None else payload.key,
     )
     if not tasks:
         # zero shots: fall back to the serial path so the result has the
@@ -179,7 +317,11 @@ def run_sharded_ler(
         return run_surgery_ler(
             config, policy, 0, rng, decoder=decoder, dedup=dedup, decode_workers=1
         )
-    results = run_sweep_parallel(tasks, max_workers=max_workers)
+    results = run_sweep_parallel(
+        tasks,
+        max_workers=max_workers,
+        payloads=None if payload is None else [payload],
+    )
     # aggregate shard stats under the same keys the serial path reports
     totals = {
         key: sum(r.decode_stats.get(key, 0) for r in results)
@@ -188,13 +330,17 @@ def run_sharded_ler(
             "distinct_syndromes",
             "decode_calls",
             "cache_hits",
+            "cache_misses",
             "decode_seconds",
+            "pipeline_analyses",
         )
     }
     totals["shards"] = len(results)
     totals["dedup_hit_rate"] = (
         1.0 - totals["decode_calls"] / shots if shots else 0.0
     )
+    lookups = totals["cache_hits"] + totals["cache_misses"]
+    totals["cache_hit_rate"] = totals["cache_hits"] / lookups if lookups else 0.0
     return LerResult(
         config=config,
         shots=shots,

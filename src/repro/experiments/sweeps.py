@@ -1,0 +1,607 @@
+"""Resumable, adaptive LER sweep orchestration over the result store.
+
+This is the durable layer the paper's 128-core x 5-day evaluation implies:
+a declarative :class:`SweepSpec` expands into points (configuration x
+policy), each point's shots are decoded in fixed-size *batches* whose seeds
+are pure functions of ``(sweep seed, point key, batch index)``
+(:func:`repro.store.batch_entropy`), and every completed batch is
+checkpointed into a content-addressed :class:`~repro.store.ResultStore`.
+Consequences:
+
+* **Resumable** — an interrupted sweep continues from its last checkpoint
+  and produces *bit-identical* estimates to an uninterrupted run, because
+  batch streams depend only on stable keys, never on execution order, pool
+  size or wall clock.
+* **Incremental** — re-invoking a finished sweep decodes zero new shots;
+  tightening ``target_rse`` or raising ``max_shots`` adds batches to the
+  existing records instead of starting over.
+* **Adaptive** — each point keeps adding batches until the tracked
+  observable's Wilson interval is tight (relative half-width <=
+  ``target_rse``) or the shot cap is hit.  Convergence is evaluated batch by
+  batch in index order, so the stopping decision is independent of the
+  worker count (a parallel round may decode a few batches past the stopping
+  point; they are discarded, not accumulated).
+* **Warm workers** — the orchestrator analyzes each configuration once and
+  hands workers a serialized DEM (:class:`~repro.experiments.ler.PipelinePayload`);
+  workers rebuild the decode pipeline without re-running circuit analysis
+  and keep one :class:`~repro.decoders.batch.SyndromeCache` per
+  configuration family across every batch and sweep point they execute.
+  Cache hit/miss totals are surfaced in the stored records.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.policies import PolicyNotApplicableError, make_policy
+from ..noise.hardware import PRESETS, HardwareConfig
+from ..store import ResultStore, batch_entropy, point_key
+from . import ler as _ler
+from .ler import SurgeryLerConfig
+from .parallel import SweepTask, execute_tasks, run_sweep_parallel
+from .stats import RateEstimate, wilson_interval
+
+__all__ = [
+    "PolicySpec",
+    "SweepSpec",
+    "SweepPoint",
+    "PointOutcome",
+    "SweepReport",
+    "run_sweep",
+    "ensure_point",
+    "point_record_estimates",
+]
+
+#: decode-stat counters accumulated batch-by-batch into stored records
+_ACCUM_KEYS = (
+    "batches",
+    "distinct_syndromes",
+    "decode_calls",
+    "cache_hits",
+    "cache_misses",
+    "decode_seconds",
+    "pipeline_analyses",
+)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One policy entry of a sweep: registry name + constructor kwargs."""
+
+    name: str
+    kwargs: tuple = ()
+
+    @classmethod
+    def coerce(cls, value) -> "PolicySpec":
+        if isinstance(value, PolicySpec):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        if isinstance(value, dict):
+            extra = {k: v for k, v in value.items() if k not in ("name", "kwargs")}
+            kwargs = dict(value.get("kwargs", {}), **extra)
+            return cls(value["name"], tuple(sorted(kwargs.items())))
+        raise TypeError(f"cannot interpret policy spec {value!r}")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one LER sweep (JSON round-trippable)."""
+
+    name: str
+    distances: tuple[int, ...]
+    taus_ns: tuple[float, ...]
+    policies: tuple[PolicySpec, ...]
+    hardware: HardwareConfig
+    p: float = 1e-3
+    ls_basis: str = "Z"
+    t_pp_ns: float | None = None
+    base_rounds: int | None = None
+    decoder: str = "unionfind"
+    seed: int = 2025
+    #: shots decoded (and checkpointed) per batch; part of every point key
+    batch_shots: int = 5000
+    #: no convergence check before this many shots
+    min_shots: int = 5000
+    #: hard cap; the final batch may overshoot it by at most batch_shots - 1
+    max_shots: int = 20000
+    #: relative Wilson half-width target; None = fixed-shot mode (run to cap)
+    target_rse: float | None = None
+    #: observable index the stopping rule tracks; None = most-failing one
+    observable: int | None = None
+
+    def __post_init__(self):
+        if self.batch_shots < 1:
+            raise ValueError("batch_shots must be positive")
+        if self.max_shots < 1:
+            raise ValueError("max_shots must be positive")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        data = dict(data)
+        hw = data["hardware"]
+        if isinstance(hw, str):
+            data["hardware"] = PRESETS[hw.lower()]
+        elif isinstance(hw, dict):
+            data["hardware"] = HardwareConfig(**hw)
+        data["distances"] = tuple(int(d) for d in data["distances"])
+        data["taus_ns"] = tuple(float(t) for t in data["taus_ns"])
+        data["policies"] = tuple(PolicySpec.coerce(p) for p in data["policies"])
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, path) -> "SweepSpec":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        import dataclasses
+
+        out = dataclasses.asdict(self)
+        out["policies"] = [
+            {"name": p.name, "kwargs": dict(p.kwargs)} for p in self.policies
+        ]
+        return out
+
+    def points(self) -> list["SweepPoint"]:
+        """Expand to the full distance x tau x policy grid, in sweep order."""
+        out = []
+        for d in self.distances:
+            for tau in self.taus_ns:
+                for pol in self.policies:
+                    config = SurgeryLerConfig(
+                        distance=d,
+                        hardware=self.hardware,
+                        policy_name=pol.name,
+                        tau_ns=float(tau),
+                        ls_basis=self.ls_basis,
+                        t_pp_ns=self.t_pp_ns,
+                        p=self.p,
+                        base_rounds=self.base_rounds,
+                        policy_args=pol.kwargs,
+                    )
+                    out.append(
+                        SweepPoint(
+                            config=config,
+                            policy_name=pol.name,
+                            policy_kwargs=pol.kwargs,
+                            decoder=self.decoder,
+                        )
+                    )
+        return out
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of an expanded sweep."""
+
+    config: SurgeryLerConfig
+    policy_name: str
+    policy_kwargs: tuple
+    decoder: str = "unionfind"
+
+    def key(self, *, seed: int, batch_shots: int) -> str:
+        """Content-addressed store key of this point's result stream."""
+        return point_key(
+            self.config,
+            self.policy_name,
+            self.policy_kwargs,
+            decoder=self.decoder,
+            seed=seed,
+            batch_shots=batch_shots,
+        )
+
+
+@dataclass
+class PointOutcome:
+    """One point's state after a sweep pass."""
+
+    point: SweepPoint
+    key: str
+    record: dict
+    #: shots decoded by *this* pass (0 when fully served from the store)
+    new_shots: int = 0
+
+    @property
+    def estimates(self) -> list[RateEstimate]:
+        return point_record_estimates(self.record)
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one :func:`run_sweep` invocation."""
+
+    spec: SweepSpec
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    #: shots decoded by this invocation (excludes store-served shots)
+    shots_decoded: int = 0
+    batches_decoded: int = 0
+    #: full circuit analyses in this process (coordinator side)
+    analyses_parent: int = 0
+    #: full circuit analyses inside pool workers (0 with warm handoff)
+    analyses_workers: int = 0
+    interrupted: bool = False
+
+    @property
+    def points_from_store(self) -> int:
+        return sum(1 for o in self.outcomes if o.new_shots == 0)
+
+    def summary(self) -> dict:
+        """Flat dict of the headline counters (CLI/benchmark output)."""
+        recs = [o.record for o in self.outcomes]
+        return {
+            "sweep": self.spec.name,
+            "points": len(self.outcomes),
+            "points_from_store": self.points_from_store,
+            "shots_decoded": self.shots_decoded,
+            "batches_decoded": self.batches_decoded,
+            "shots_stored": sum(int(r.get("shots", 0)) for r in recs),
+            "converged": sum(1 for r in recs if r.get("converged")),
+            "not_applicable": sum(
+                1 for r in recs if r.get("status") == "not_applicable"
+            ),
+            "pipeline_analyses_parent": self.analyses_parent,
+            "pipeline_analyses_workers": self.analyses_workers,
+            "cache_hits": sum(
+                int(r.get("decode_stats", {}).get("cache_hits", 0)) for r in recs
+            ),
+            "cache_misses": sum(
+                int(r.get("decode_stats", {}).get("cache_misses", 0)) for r in recs
+            ),
+            "interrupted": self.interrupted,
+        }
+
+
+def point_record_estimates(record: dict) -> list[RateEstimate]:
+    """Rebuild the per-observable :class:`RateEstimate` list of a record."""
+    shots = int(record.get("shots", 0))
+    return [RateEstimate(int(f), shots) for f in record.get("failures", ())]
+
+
+def _tracked_observable(failures: list[int], observable: int | None) -> int:
+    if observable is not None:
+        return observable
+    return int(np.argmax(failures)) if failures else 0
+
+
+def _converged(
+    failures: list[int], shots: int, spec: SweepSpec
+) -> tuple[bool, str | None]:
+    """Deterministic stopping rule, evaluated after every applied batch."""
+    if spec.target_rse is not None and shots >= spec.min_shots:
+        k = _tracked_observable(failures, spec.observable)
+        if k < len(failures) and failures[k] > 0:
+            rate = failures[k] / shots
+            lo, hi = wilson_interval(failures[k], shots)
+            if (hi - lo) / 2.0 <= spec.target_rse * rate:
+                return True, "target_rse"
+    if shots >= spec.max_shots:
+        return True, "max_shots"
+    return False, None
+
+
+def _fresh_record(spec: SweepSpec, pt: SweepPoint, key: str, nobs: int) -> dict:
+    return {
+        "key": key,
+        "sweep": spec.name,
+        "status": "ok",
+        "config": {
+            "distance": pt.config.distance,
+            "tau_ns": pt.config.tau_ns,
+            "policy": pt.policy_name,
+            "policy_kwargs": dict(pt.policy_kwargs),
+            "p": pt.config.p,
+            "hardware": pt.config.hardware.name,
+            "decoder": pt.decoder,
+        },
+        "seed": spec.seed,
+        "batch_shots": spec.batch_shots,
+        "shots": 0,
+        "batches": 0,
+        "failures": [0] * nobs,
+        "converged": False,
+        "stop_reason": None,
+        "plan_summary": {},
+        "decode_stats": {k: 0 for k in _ACCUM_KEYS},
+    }
+
+
+class _BatchBudget:
+    """Optional cap on newly decoded batches (test hook for interruption)."""
+
+    def __init__(self, limit: int | None):
+        self.limit = limit
+        self.used = 0
+
+    def take(self, n: int) -> int:
+        """How many of ``n`` requested batches may still run."""
+        if self.limit is None:
+            return n
+        allowed = max(0, min(n, self.limit - self.used))
+        return allowed
+
+    def spend(self, n: int) -> None:
+        self.used += n
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.used >= self.limit
+
+
+class _SweepRun:
+    """Execution state shared across the points of one sweep pass."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        store: ResultStore,
+        *,
+        resume: bool = True,
+        workers: int = 1,
+        batch_limit: int | None = None,
+        progress=None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.resume = resume
+        self.workers = max(1, workers)
+        self.budget = _BatchBudget(batch_limit)
+        self.progress = progress or (lambda msg: None)
+        self.report = SweepReport(spec=spec)
+        #: one pool for the whole run (lazily created): workers warm
+        #: themselves per configuration from the tasks' payload blobs, so
+        #: pipelines and per-family syndrome caches survive across batches,
+        #: convergence rounds and sweep points
+        self._pool: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the run's process pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    # -- batch execution ---------------------------------------------------
+
+    def _batch_seed(self, key: str, batch_index: int):
+        entropy, spawn_key = batch_entropy(self.spec.seed, key, batch_index)
+        return np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+
+    def _run_batches(
+        self, payload, blob, pt: SweepPoint, key: str, first_batch: int, n: int
+    ):
+        """Decode batches ``first_batch .. first_batch+n-1`` of one point.
+
+        Serial mode installs the payload in-process (module-global warm
+        state); pooled mode sends tasks carrying the pickled payload to the
+        run-wide pool, where each worker installs it on first contact.  In
+        both modes the per-family :class:`SyndromeCache` persists across
+        batches, rounds and points.
+        """
+        spec = self.spec
+        tasks = [
+            SweepTask(
+                config=pt.config,
+                policy_name=pt.policy_name,
+                policy_kwargs=pt.policy_kwargs,
+                shots=spec.batch_shots,
+                seed=self._batch_seed(key, first_batch + i),
+                decoder=pt.decoder,
+                pipeline_key=payload.key,
+                payload_blob=blob,
+            )
+            for i in range(n)
+        ]
+        if self.workers == 1:
+            return run_sweep_parallel(tasks, max_workers=1, payloads=[payload])
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return execute_tasks(self._pool, tasks)
+
+    # -- per-point orchestration ------------------------------------------
+
+    def run_point(self, pt: SweepPoint) -> PointOutcome:
+        spec = self.spec
+        key = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+        record = self.store.get(key)
+
+        if record is not None and record.get("status") == "not_applicable":
+            return self._outcome(pt, key, record)
+
+        if record is not None and not self.resume and not record.get("converged"):
+            record = None  # restart partial points unless resuming
+
+        if record is not None:
+            # re-evaluate convergence under the *current* spec: a tightened
+            # target_rse / raised max_shots keeps accumulating batches
+            done, reason = _converged(record["failures"], record["shots"], spec)
+            if done:
+                if not record.get("converged") or record.get("stop_reason") != reason:
+                    record.update(converged=True, stop_reason=reason)
+                    self.store.put(key, record)
+                return self._outcome(pt, key, record)
+            record = dict(record, converged=False, stop_reason=None)
+
+        # analyze (or fetch) the pipeline once, in this process
+        analyses_before = _ler.PIPELINE_ANALYSES
+        try:
+            payload = _ler.pipeline_payload(
+                pt.config, make_policy(pt.policy_name, **dict(pt.policy_kwargs))
+            )
+        except PolicyNotApplicableError as exc:
+            record = _fresh_record(spec, pt, key, nobs=0)
+            record.update(
+                status="not_applicable",
+                converged=True,
+                stop_reason="not_applicable",
+                detail=str(exc),
+                updated_at=time.time(),
+            )
+            self.store.put(key, record)
+            return self._outcome(pt, key, record)
+        self.report.analyses_parent += _ler.PIPELINE_ANALYSES - analyses_before
+
+        nobs = payload.dem.num_observables
+        if record is None:
+            record = _fresh_record(spec, pt, key, nobs)
+            record["plan_summary"] = dict(payload.plan_summary)
+
+        # pickled once per point; reused by every batch task of this point
+        blob = pickle.dumps(payload) if self.workers > 1 else None
+        new_shots = 0
+        while True:
+            done, reason = _converged(record["failures"], record["shots"], spec)
+            if done:
+                record.update(converged=True, stop_reason=reason)
+                self.store.put(key, record)
+                break
+            remaining = max(
+                1,
+                -(-(spec.max_shots - record["shots"]) // spec.batch_shots),
+            )
+            want = min(self.workers, remaining)
+            allowed = self.budget.take(want)
+            if allowed == 0:
+                self.report.interrupted = True
+                record.update(updated_at=time.time())
+                self.store.put(key, record)
+                break
+            results = self._run_batches(
+                payload, blob, pt, key, record["batches"], allowed
+            )
+            self.budget.spend(allowed)
+            for res in results:
+                if res is None:
+                    continue
+                failures = [e.successes for e in res.estimates]
+                record["failures"] = [
+                    a + b for a, b in zip(record["failures"], failures)
+                ]
+                record["shots"] += res.shots
+                record["batches"] += 1
+                for k in _ACCUM_KEYS:
+                    record["decode_stats"][k] = record["decode_stats"].get(k, 0) + res.decode_stats.get(k, 0)
+                self.report.analyses_workers += res.decode_stats.get(
+                    "pipeline_analyses", 0
+                )
+                new_shots += res.shots
+                done, _ = _converged(record["failures"], record["shots"], spec)
+                if done:
+                    break  # later batches of this round are discarded
+            stats = record["decode_stats"]
+            lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+            stats["cache_hit_rate"] = (
+                stats.get("cache_hits", 0) / lookups if lookups else 0.0
+            )
+            record["updated_at"] = time.time()
+            self.store.put(key, record)
+            self.progress(
+                f"{spec.name}: {key[:12]} shots={record['shots']} "
+                f"failures={record['failures']}"
+            )
+        self.report.shots_decoded += new_shots
+        self.report.batches_decoded += new_shots // spec.batch_shots
+        return self._outcome(pt, key, record, new_shots=new_shots)
+
+    def _outcome(self, pt, key, record, *, new_shots: int = 0) -> PointOutcome:
+        outcome = PointOutcome(point=pt, key=key, record=record, new_shots=new_shots)
+        self.report.outcomes.append(outcome)
+        return outcome
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: ResultStore,
+    *,
+    resume: bool = True,
+    workers: int = 1,
+    batch_limit: int | None = None,
+    progress=None,
+) -> SweepReport:
+    """Run (or continue) every point of ``spec`` against ``store``.
+
+    ``resume=False`` discards partial (non-converged) records and recomputes
+    them from batch 0 — the result is bit-identical either way, resuming just
+    skips the already-decoded prefix.  ``workers`` > 1 decodes batches on a
+    warm process pool.  ``batch_limit`` caps how many *new* batches this
+    invocation decodes (the interruption hook used by tests and the
+    microbenchmark); when the cap is hit the partial state is checkpointed
+    and ``report.interrupted`` is set.
+    """
+    run = _SweepRun(
+        spec,
+        store,
+        resume=resume,
+        workers=workers,
+        batch_limit=batch_limit,
+        progress=progress,
+    )
+    try:
+        for pt in spec.points():
+            if run.budget.exhausted:
+                run.report.interrupted = True
+                break
+            run.run_point(pt)
+    finally:
+        run.close()
+    return run.report
+
+
+def ensure_point(
+    store: ResultStore,
+    config: SurgeryLerConfig,
+    policy_name: str,
+    policy_kwargs: tuple = (),
+    *,
+    decoder: str = "unionfind",
+    seed: int = 2025,
+    batch_shots: int,
+    min_shots: int | None = None,
+    max_shots: int | None = None,
+    target_rse: float | None = None,
+    observable: int | None = None,
+    resume: bool = True,
+    workers: int = 1,
+) -> dict:
+    """Read-through accessor for one point (the figure-function entry path).
+
+    Returns the stored record, decoding only the missing batches.  With the
+    defaults (``max_shots = batch_shots``, no RSE target) this is exactly
+    "one batch of ``batch_shots`` shots, cached forever".
+    """
+    max_shots = batch_shots if max_shots is None else max_shots
+    spec = SweepSpec(
+        name="adhoc",
+        distances=(config.distance,),
+        taus_ns=(config.tau_ns,),
+        policies=(PolicySpec(policy_name, tuple(sorted(policy_kwargs))),),
+        hardware=config.hardware,
+        p=config.p,
+        ls_basis=config.ls_basis,
+        t_pp_ns=config.t_pp_ns,
+        base_rounds=config.base_rounds,
+        decoder=decoder,
+        seed=seed,
+        batch_shots=batch_shots,
+        min_shots=batch_shots if min_shots is None else min_shots,
+        max_shots=max_shots,
+        target_rse=target_rse,
+        observable=observable,
+    )
+    run = _SweepRun(spec, store, resume=resume, workers=workers)
+    pt = SweepPoint(
+        config=config,
+        policy_name=policy_name,
+        policy_kwargs=tuple(sorted(policy_kwargs)),
+        decoder=decoder,
+    )
+    try:
+        return run.run_point(pt).record
+    finally:
+        run.close()

@@ -1,0 +1,141 @@
+"""Content-addressed experiment result store (JSON file backend).
+
+Layout under the store root::
+
+    <root>/
+      points/
+        <key[:2]>/<key>.json     one record per point key
+
+Each record is one self-describing JSON object (failure counts, shots,
+batches consumed, convergence state, decode statistics and the canonical key
+payload it was hashed from).  Writes are atomic (temp file + ``os.replace``)
+so an interrupted sweep never leaves a truncated record: the store always
+holds the state as of the last completed checkpoint, which is exactly what
+``repro sweep run --resume`` continues from.
+
+The root directory is configurable per store; :func:`default_store` resolves
+the process-wide default from the ``REPRO_STORE_ROOT`` environment variable
+or an explicit :func:`set_default_store` call (tests, notebooks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ResultStore", "default_store", "set_default_store"]
+
+#: explicit process-wide default store (overrides the environment knob)
+_DEFAULT_STORE: "ResultStore | None" = None
+
+
+class ResultStore:
+    """One result-store root; keys are sha256 hex digests from :mod:`.keys`."""
+
+    def __init__(self, root: str | Path):
+        # creation is lazy (first put): read-only operations like
+        # ``sweep status`` on a mistyped path must not litter directories
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed store key {key!r}")
+        return self.root / "points" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored record for ``key``, or None."""
+        path = self._path(key)
+        try:
+            with open(path) as f:
+                return json.load(f)
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically write (or overwrite) one record."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = dict(record, key=key)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(record, f, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> bool:
+        """Remove one record; returns whether it existed."""
+        try:
+            os.unlink(self._path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def keys(self) -> list[str]:
+        """All stored point keys (sorted)."""
+        points = self.root / "points"
+        return sorted(p.stem for p in points.glob("??/*.json"))
+
+    def records(self):
+        """Iterate over every stored record."""
+        for key in self.keys():
+            rec = self.get(key)
+            if rec is not None:
+                yield rec
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            removed += self.delete(key)
+        return removed
+
+    def summary(self) -> dict:
+        """Aggregate store statistics (for ``repro sweep status``)."""
+        total = converged = not_applicable = 0
+        shots = 0
+        for rec in self.records():
+            total += 1
+            if rec.get("status") == "not_applicable":
+                not_applicable += 1
+            elif rec.get("converged"):
+                converged += 1
+            shots += int(rec.get("shots", 0))
+        return {
+            "root": str(self.root),
+            "records": total,
+            "converged": converged,
+            "partial": total - converged - not_applicable,
+            "not_applicable": not_applicable,
+            "stored_shots": shots,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResultStore({str(self.root)!r}, {len(self)} records)"
+
+
+def set_default_store(store: "ResultStore | None") -> None:
+    """Set (or clear, with None) the process-wide default store."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+def default_store() -> "ResultStore | None":
+    """The active default store: explicit > ``REPRO_STORE_ROOT`` env > None."""
+    if _DEFAULT_STORE is not None:
+        return _DEFAULT_STORE
+    root = os.environ.get("REPRO_STORE_ROOT")
+    return ResultStore(root) if root else None

@@ -1,0 +1,110 @@
+"""Stable content-addressed keys for experiment results.
+
+A stored LER point is identified by the sha256 of a canonical JSON payload
+built from everything that determines its numbers bit-for-bit:
+
+* the :class:`~repro.experiments.ler.SurgeryLerConfig` (including the nested
+  :class:`~repro.noise.hardware.HardwareConfig`),
+* the synchronization policy (registry name + public constructor fields),
+* the decoder name,
+* the sweep seed and the per-point batch size (each shot batch draws from a
+  ``SeedSequence`` derived from ``(seed, key, batch_index)``, so the sampled
+  stream is a pure function of these two values),
+* a code-version salt (:data:`STORE_SALT`), bumped whenever a change to the
+  sampling or decoding stack would alter stored numbers.
+
+The hash is computed over ``json.dumps(..., sort_keys=True)`` — never over
+``repr`` or ``hash()`` — so it is identical across processes, platforms and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+__all__ = [
+    "STORE_SALT",
+    "config_payload",
+    "point_payload",
+    "point_key",
+    "batch_entropy",
+]
+
+#: bump whenever a sampling/decoding change would alter stored numbers; old
+#: records then simply stop matching and are regenerated on demand
+STORE_SALT = "repro-store-v1"
+
+
+def _jsonable(value):
+    """Canonical JSON form of a payload leaf (tuples become lists)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__!r} for a store key")
+
+
+def config_payload(config) -> dict:
+    """Canonical dict form of a :class:`SurgeryLerConfig`."""
+    return _jsonable(dataclasses.asdict(config))
+
+
+def point_payload(
+    config,
+    policy_name: str,
+    policy_kwargs,
+    *,
+    decoder: str,
+    seed: int,
+    batch_shots: int,
+    salt: str = STORE_SALT,
+) -> dict:
+    """The full canonical payload one point key is hashed from."""
+    return {
+        "config": config_payload(config),
+        "policy": {"name": policy_name, "kwargs": _jsonable(sorted(policy_kwargs))},
+        "decoder": decoder,
+        "seed": int(seed),
+        "batch_shots": int(batch_shots),
+        "salt": salt,
+    }
+
+
+def point_key(
+    config,
+    policy_name: str,
+    policy_kwargs,
+    *,
+    decoder: str,
+    seed: int,
+    batch_shots: int,
+    salt: str = STORE_SALT,
+) -> str:
+    """sha256 hex digest identifying one sweep point's result stream."""
+    payload = point_payload(
+        config,
+        policy_name,
+        policy_kwargs,
+        decoder=decoder,
+        seed=seed,
+        batch_shots=batch_shots,
+        salt=salt,
+    )
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def batch_entropy(seed: int, key: str, batch_index: int) -> tuple[int, tuple[int, int]]:
+    """``(entropy, spawn_key)`` for ``np.random.SeedSequence`` of one shot batch.
+
+    Derived from the sweep seed, the point key and the batch index only, so a
+    resumed sweep regenerates exactly the batches an uninterrupted run would
+    have drawn, in any execution order and on any worker count.
+    """
+    return int(seed), (int(key[:16], 16), int(batch_index))

@@ -205,6 +205,41 @@ def test_engine_cache_persists_across_batches(surface_fixture):
     assert 0.0 < engine.stats.dedup_hit_rate < 1.0
 
 
+def test_engine_cache_hit_miss_counters_at_high_p():
+    # p = 5e-3: syndromes are heavy enough that within-batch dedup decays,
+    # which is exactly where the cross-batch memo cache has to earn its keep
+    noise = NoiseModel(hardware=GOOGLE, p=5e-3, idle_scale=0.0)
+    art = memory_experiment(3, 3, noise)
+    dem = circuit_to_dem(art.circuit)
+    graph = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(6000, rng=21)
+    engine = BatchDecodingEngine(UnionFindDecoder(graph), dedup=True, cache_size=1 << 14)
+    for start in range(0, det.shape[0], 1500):
+        engine.decode_batch(det[start : start + 1500])
+    stats = engine.stats
+    assert stats.cache_hits > 0
+    assert stats.cache_misses > 0
+    assert stats.cache_hits + stats.cache_misses == stats.distinct_syndromes
+    assert stats.decode_calls == stats.cache_misses
+    assert stats.cache_hit_rate == pytest.approx(
+        stats.cache_hits / (stats.cache_hits + stats.cache_misses)
+    )
+    # dedup alone leaves plenty of distinct rows at this p
+    assert stats.distinct_syndromes / stats.shots > 0.1
+
+
+def test_injected_cache_is_shared_between_engines(surface_fixture):
+    graph, det = surface_fixture
+    shared = SyndromeCache(1 << 14)
+    first = BatchDecodingEngine(UnionFindDecoder(graph), dedup=True, cache=shared)
+    first.decode_batch(det[:800])
+    second = BatchDecodingEngine(UnionFindDecoder(graph), dedup=True, cache=shared)
+    out = second.decode_batch(det[:800])
+    assert second.stats.cache_misses == 0  # fully served by the first engine's work
+    assert second.stats.cache_hits == second.stats.distinct_syndromes > 0
+    assert np.array_equal(out, first.decode_batch(det[:800]))
+
+
 def test_engine_without_dedup_matches_engine_with_dedup(surface_fixture):
     graph, det = surface_fixture
     det = det[:400]

@@ -63,3 +63,76 @@ def test_decode_engine_flags_apply_during_run_and_restore(capsys, tmp_path, monk
 def test_decode_workers_must_be_positive():
     with pytest.raises(SystemExit):
         cli.main(["run", "fig10", "--decode-workers", "0"])
+
+
+# ---------------------------------------------------------------------------
+# sweep subcommand
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def sweep_spec_file(tmp_path):
+    spec = {
+        "name": "cli-test",
+        "hardware": "google",
+        "distances": [2],
+        "taus_ns": [500.0],
+        "policies": ["passive"],
+        "batch_shots": 800,
+        "min_shots": 800,
+        "max_shots": 800,
+        "seed": 17,
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def test_sweep_run_then_rerun_serves_from_store(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    assert cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert '"shots_decoded": 800' in out
+    assert cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store), "--resume"]) == 0
+    out = capsys.readouterr().out
+    assert '"shots_decoded": 0' in out
+    assert '"points_from_store": 1' in out
+    assert "[store]" in out
+
+
+def test_sweep_status_reports_point_states(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    assert cli.main(["sweep", "status", str(sweep_spec_file), "--store", str(store)]) == 0
+    assert "missing" in capsys.readouterr().out
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)])
+    capsys.readouterr()
+    assert cli.main(["sweep", "status", str(sweep_spec_file), "--store", str(store)]) == 0
+    assert "converged" in capsys.readouterr().out
+    assert cli.main(["sweep", "status", "--store", str(store)]) == 0
+    assert '"records": 1' in capsys.readouterr().out
+
+
+def test_sweep_clear_requires_confirmation(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)])
+    capsys.readouterr()
+    assert cli.main(["sweep", "clear", "--store", str(store)]) == 1
+    assert "pass --yes" in capsys.readouterr().out
+    assert cli.main(["sweep", "clear", "--store", str(store), "--yes"]) == 0
+    assert "removed 1 records" in capsys.readouterr().out
+
+
+def test_sweep_run_overrides_spec_fields(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    assert (
+        cli.main(
+            [
+                "sweep", "run", str(sweep_spec_file),
+                "--store", str(store),
+                "--max-shots", "1600",
+                "--seed", "23",
+            ]
+        )
+        == 0
+    )
+    assert '"shots_decoded": 1600' in capsys.readouterr().out

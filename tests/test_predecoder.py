@@ -79,3 +79,68 @@ def test_offload_statistics(quiet_noise):
     # at p=1e-3 almost every nontrivial shot is a single isolated pair
     assert stats.removal_fraction > 0.5
     assert stats.offload_fraction > 0.9
+
+
+# ---------------------------------------------------------------------------
+# vectorized batch pass: bit-identical to the scalar per-row loop
+# ---------------------------------------------------------------------------
+
+
+def test_apply_batch_matches_scalar_on_chain_graph():
+    g = _chain_graph()
+    pre = Predecoder(g)
+    # every syndrome of the 4-detector chain, exhaustively
+    rows = np.array(
+        [[bool(v >> i & 1) for i in range(4)] for v in range(16)], dtype=bool
+    )
+    residuals, masks, removed = pre.apply_batch(rows)
+    for i in range(rows.shape[0]):
+        res, mask, rem = pre.apply(rows[i])
+        assert np.array_equal(residuals[i], res), rows[i]
+        assert int(masks[i]) == mask, rows[i]
+        assert removed[i] == rem, rows[i]
+
+
+@pytest.mark.parametrize("density", [0.0, 0.02, 0.1, 0.3])
+def test_apply_batch_matches_scalar_on_surface_graph(quiet_noise, density):
+    art = memory_experiment(3, 3, quiet_noise)
+    dem = circuit_to_dem(art.circuit)
+    g = build_matching_graph(dem, basis="Z")
+    rng = np.random.default_rng(int(density * 100))
+    rows = rng.random((300, g.num_detectors)) < density
+    pre = Predecoder(g)
+    residuals, masks, removed = pre.apply_batch(rows)
+    for i in range(rows.shape[0]):
+        res, mask, rem = pre.apply(rows[i])
+        assert np.array_equal(residuals[i], res)
+        assert int(masks[i]) == mask
+        assert removed[i] == rem
+
+
+def test_apply_batch_rejects_bad_shapes():
+    pre = Predecoder(_chain_graph())
+    with pytest.raises(ValueError):
+        pre.apply_batch(np.zeros(4, dtype=bool))
+    with pytest.raises(ValueError):
+        pre.apply_batch(np.zeros((2, 5), dtype=bool))
+
+
+def test_predecoded_batch_path_uses_vectorized_pass(quiet_noise, monkeypatch):
+    art = memory_experiment(3, 3, quiet_noise)
+    dem = circuit_to_dem(art.circuit)
+    g = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(4000, rng=5)
+    wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
+    calls = {"scalar": 0}
+    original = Predecoder.apply
+
+    def counting_apply(self, detectors):
+        calls["scalar"] += 1
+        return original(self, detectors)
+
+    monkeypatch.setattr(Predecoder, "apply", counting_apply)
+    batched = wrapped.decode_batch(det)
+    assert calls["scalar"] == 0  # no per-syndrome python pass on the fast path
+    reference = PredecodedDecoder(g, UnionFindDecoder(g))
+    assert np.array_equal(batched, reference.decode_batch(det, dedup=False))
+    assert vars(wrapped.stats) == vars(reference.stats)

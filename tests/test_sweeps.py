@@ -1,0 +1,342 @@
+"""Sweep orchestrator tests: resume determinism, adaptive stopping, warm
+workers, store read-through for figure sweeps, and cross-point cache stats."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.experiments import figures
+from repro.experiments import ler as ler_module
+from repro.experiments.ler import SurgeryLerConfig, pipeline_payload
+from repro.experiments.parallel import reset_warm_state, run_sharded_ler
+from repro.experiments.sweeps import (
+    PolicySpec,
+    SweepSpec,
+    ensure_point,
+    point_record_estimates,
+    run_sweep,
+)
+from repro.noise import GOOGLE
+from repro.store import ResultStore, set_default_store
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warm_state():
+    reset_warm_state()
+    yield
+    reset_warm_state()
+    set_default_store(None)
+
+
+def _spec(**kwargs):
+    base = dict(
+        name="test",
+        distances=(2,),
+        taus_ns=(500.0,),
+        policies=(PolicySpec("passive"),),
+        hardware=GOOGLE,
+        seed=11,
+        batch_shots=500,
+        min_shots=500,
+        max_shots=2000,
+        target_rse=None,
+    )
+    base.update(kwargs)
+    return SweepSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# spec expansion and (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def test_spec_round_trips_through_json(tmp_path):
+    spec = _spec(
+        policies=(PolicySpec("passive"), PolicySpec("hybrid", (("eps_ns", 100.0),))),
+        target_rse=0.1,
+    )
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    loaded = SweepSpec.from_json(path)
+    assert loaded == spec
+
+
+def test_spec_accepts_hardware_presets_and_policy_dicts():
+    spec = SweepSpec.from_dict(
+        {
+            "name": "x",
+            "hardware": "google",
+            "distances": [2, 3],
+            "taus_ns": [500],
+            "policies": ["passive", {"name": "hybrid", "eps_ns": 100.0}],
+        }
+    )
+    assert spec.hardware == GOOGLE
+    assert spec.policies[1] == PolicySpec("hybrid", (("eps_ns", 100.0),))
+    points = spec.points()
+    assert len(points) == 4
+    assert points[0].config.distance == 2
+    assert points[1].policy_name == "hybrid"
+    assert points[1].config.policy_args == (("eps_ns", 100.0),)
+
+
+def test_point_keys_distinct_across_grid():
+    spec = _spec(distances=(2, 3), policies=(PolicySpec("passive"), PolicySpec("active")))
+    keys = {p.key(seed=spec.seed, batch_shots=spec.batch_shots) for p in spec.points()}
+    assert len(keys) == 4
+
+
+# ---------------------------------------------------------------------------
+# resume determinism (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def test_interrupted_then_resumed_is_bit_identical(tmp_path):
+    spec = _spec(policies=(PolicySpec("passive"), PolicySpec("active")))
+    clean = run_sweep(spec, ResultStore(tmp_path / "clean"))
+    assert clean.shots_decoded == spec.max_shots * 2
+
+    store = ResultStore(tmp_path / "interrupted")
+    partial = run_sweep(spec, store, batch_limit=3)
+    assert partial.interrupted
+    assert partial.shots_decoded == 3 * spec.batch_shots
+    assert store.summary()["partial"] >= 1
+
+    resumed = run_sweep(spec, store, resume=True)
+    assert not resumed.interrupted
+    # resumed only decodes what the interruption skipped
+    assert resumed.shots_decoded == clean.shots_decoded - partial.shots_decoded
+    clean_records = {o.key: o.record for o in clean.outcomes}
+    for outcome in resumed.outcomes:
+        ref = clean_records[outcome.key]
+        assert outcome.record["failures"] == ref["failures"]
+        assert outcome.record["shots"] == ref["shots"]
+        assert outcome.record["batches"] == ref["batches"]
+        assert outcome.record["stop_reason"] == ref["stop_reason"]
+
+
+def test_restart_without_resume_matches_too(tmp_path):
+    spec = _spec()
+    store = ResultStore(tmp_path)
+    run_sweep(spec, store, batch_limit=1)
+    redone = run_sweep(spec, store, resume=False)  # discards the partial record
+    clean = run_sweep(spec, ResultStore(tmp_path / "b"))
+    assert redone.outcomes[0].record["failures"] == clean.outcomes[0].record["failures"]
+
+
+def test_completed_sweep_rerun_decodes_zero_shots(tmp_path):
+    spec = _spec()
+    store = ResultStore(tmp_path)
+    first = run_sweep(spec, store)
+    assert first.shots_decoded == spec.max_shots
+    again = run_sweep(spec, store)
+    assert again.shots_decoded == 0
+    assert again.batches_decoded == 0
+    assert again.points_from_store == len(spec.points())
+    assert again.outcomes[0].record["failures"] == first.outcomes[0].record["failures"]
+
+
+def test_sweep_worker_count_does_not_change_results(tmp_path):
+    spec = _spec(target_rse=0.15, max_shots=3000)
+    serial = run_sweep(spec, ResultStore(tmp_path / "serial"), workers=1)
+    reset_warm_state()
+    pooled = run_sweep(spec, ResultStore(tmp_path / "pooled"), workers=3)
+    a, b = serial.outcomes[0].record, pooled.outcomes[0].record
+    assert a["failures"] == b["failures"]
+    assert a["shots"] == b["shots"]
+    assert a["stop_reason"] == b["stop_reason"]
+    # warm handoff: pool workers never re-analyzed the circuit
+    assert pooled.analyses_workers == 0
+    assert pooled.analyses_parent <= 1
+
+
+# ---------------------------------------------------------------------------
+# adaptive shot allocation
+# ---------------------------------------------------------------------------
+
+
+def test_adaptive_stops_early_when_interval_is_tight(tmp_path):
+    loose = _spec(target_rse=0.5, max_shots=10_000)
+    report = run_sweep(loose, ResultStore(tmp_path))
+    rec = report.outcomes[0].record
+    assert rec["stop_reason"] == "target_rse"
+    assert rec["shots"] < loose.max_shots
+    # the stopping rule matches the stored numbers
+    k = int(np.argmax(rec["failures"]))
+    est = point_record_estimates(rec)[k]
+    lo, hi = est.interval
+    assert (hi - lo) / 2.0 <= 0.5 * est.rate
+
+
+def test_adaptive_runs_to_cap_when_target_unreachable(tmp_path):
+    tight = _spec(target_rse=1e-4, max_shots=2000)
+    report = run_sweep(tight, ResultStore(tmp_path))
+    rec = report.outcomes[0].record
+    assert rec["stop_reason"] == "max_shots"
+    assert rec["shots"] == 2000
+
+
+def test_tightening_target_extends_stored_point(tmp_path):
+    store = ResultStore(tmp_path)
+    run_sweep(_spec(target_rse=0.5, max_shots=10_000), store)
+    first_shots = next(store.records())["shots"]
+    report = run_sweep(_spec(target_rse=0.2, max_shots=10_000), store)
+    rec = report.outcomes[0].record
+    assert rec["shots"] > first_shots  # continued, not restarted
+    assert report.shots_decoded == rec["shots"] - first_shots
+
+
+def test_not_applicable_policy_is_recorded_and_skipped(tmp_path):
+    # extra_rounds with max_rounds=0 cannot absorb any slack: not applicable
+    spec = _spec(
+        policies=(PolicySpec("extra_rounds", (("max_rounds", 0),)),),
+        taus_ns=(1000.0,),
+    )
+    store = ResultStore(tmp_path)
+    report = run_sweep(spec, store)
+    rec = report.outcomes[0].record
+    assert rec["status"] == "not_applicable"
+    assert rec["shots"] == 0
+    again = run_sweep(spec, store)
+    assert again.shots_decoded == 0
+    assert again.outcomes[0].record["status"] == "not_applicable"
+
+
+# ---------------------------------------------------------------------------
+# ensure_point + figure-function read-through
+# ---------------------------------------------------------------------------
+
+
+def _config(policy="passive", tau=500.0):
+    return SurgeryLerConfig(
+        distance=2, hardware=GOOGLE, policy_name=policy, tau_ns=tau
+    )
+
+
+def test_ensure_point_fixed_shot_mode(tmp_path):
+    store = ResultStore(tmp_path)
+    rec = ensure_point(store, _config(), "passive", (), seed=5, batch_shots=1500)
+    assert rec["shots"] == 1500
+    assert rec["converged"] and rec["stop_reason"] == "max_shots"
+    again = ensure_point(store, _config(), "passive", (), seed=5, batch_shots=1500)
+    assert again["failures"] == rec["failures"]
+    assert len(store) == 1
+
+
+def test_sweep_policies_reads_through_store(tmp_path):
+    store = ResultStore(tmp_path)
+    kwargs = dict(
+        policies=("passive",),
+        distances=(2,),
+        taus_ns=(500.0,),
+        shots=1000,
+        hardware=GOOGLE,
+        rng=13,
+    )
+    first = figures.sweep_policies(store=store, **kwargs)
+    assert len(store) == 1
+    analyses = ler_module.PIPELINE_ANALYSES
+    second = figures.sweep_policies(store=store, **kwargs)
+    # second pass decoded nothing new: same numbers, no new analysis beyond
+    # the cached pipeline, and the single stored record was reused
+    assert [e.successes for e in second[0].estimates] == [
+        e.successes for e in first[0].estimates
+    ]
+    assert len(store) == 1
+    assert ler_module.PIPELINE_ANALYSES == analyses
+    assert first[0].plan  # plan summary survives the store round-trip
+
+
+def test_sweep_policies_without_store_unchanged(tmp_path):
+    # a Generator rng (or no active store) keeps the legacy sequential path
+    a = figures.sweep_policies(
+        ("passive",), (2,), (500.0,), 800, hardware=GOOGLE, rng=np.random.default_rng(3)
+    )
+    set_default_store(ResultStore(tmp_path))
+    b = figures.sweep_policies(
+        ("passive",), (2,), (500.0,), 800, hardware=GOOGLE, rng=np.random.default_rng(3)
+    )
+    set_default_store(None)
+    assert [e.successes for e in a[0].estimates] == [e.successes for e in b[0].estimates]
+
+
+# ---------------------------------------------------------------------------
+# warm shard workers (pre-analyzed pipeline handoff)
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_ler_accepts_payload_and_matches(tmp_path):
+    cfg = _config()
+    pol = make_policy("passive")
+    plain = run_sharded_ler(cfg, pol, 2000, rng=7, num_shards=4, max_workers=2)
+    reset_warm_state()
+    payload = pipeline_payload(cfg, pol)
+    warm = run_sharded_ler(
+        cfg, pol, 2000, rng=7, num_shards=4, max_workers=2, payload=payload
+    )
+    assert [e.successes for e in warm.estimates] == [
+        e.successes for e in plain.estimates
+    ]
+    assert warm.decode_stats["pipeline_analyses"] == 0
+    assert warm.decode_stats["shards"] == 4
+
+
+def test_payload_pipeline_matches_analyzed_pipeline():
+    cfg = _config()
+    pol = make_policy("passive")
+    payload = pipeline_payload(cfg, pol)
+    rebuilt = ler_module._Pipeline.from_payload(payload)
+    direct = ler_module.prepared_pipeline(cfg, pol)
+    assert rebuilt.plan_summary() == direct.plan_summary()
+    assert rebuilt.graph.num_detectors == direct.graph.num_detectors
+    det, _ = direct.sampler.sample(64, rng=0)
+    masked = direct.mask_detectors(det)
+    a = rebuilt.decoder("unionfind").decode_batch(masked)
+    b = direct.decoder("unionfind").decode_batch(masked)
+    assert np.array_equal(a, b)
+
+
+# ---------------------------------------------------------------------------
+# cross-point syndrome-cache persistence with hit/miss statistics
+# ---------------------------------------------------------------------------
+
+
+def test_family_cache_persists_across_sweep_batches(tmp_path):
+    # p = 5e-3: dedup within one batch decays, the cross-batch memo matters
+    spec = _spec(p=5e-3, batch_shots=500, max_shots=2000)
+    report = run_sweep(spec, ResultStore(tmp_path))
+    stats = report.outcomes[0].record["decode_stats"]
+    assert stats["cache_hits"] > 0  # later batches hit earlier batches' work
+    assert stats["cache_misses"] > 0
+    assert stats["cache_hits"] + stats["cache_misses"] == stats["distinct_syndromes"]
+    assert stats["decode_calls"] == stats["cache_misses"]
+    assert 0.0 < stats["cache_hit_rate"] < 1.0
+
+
+def test_family_caches_are_isolated_per_decoder(tmp_path):
+    # same configuration decoded with two decoders in one process: the
+    # per-family caches must not leak one decoder's masks into the other
+    cfg = SurgeryLerConfig(
+        distance=2, hardware=GOOGLE, policy_name="passive", tau_ns=500.0, p=5e-3
+    )
+    ensure_point(ResultStore(tmp_path / "uf"), cfg, "passive", (), seed=9,
+                 batch_shots=1000, decoder="unionfind")
+    tainted = ensure_point(ResultStore(tmp_path / "mwpm"), cfg, "passive", (),
+                           seed=9, batch_shots=1000, decoder="mwpm")
+    reset_warm_state()  # a fresh process cannot see the unionfind cache
+    clean = ensure_point(ResultStore(tmp_path / "mwpm2"), cfg, "passive", (),
+                         seed=9, batch_shots=1000, decoder="mwpm")
+    assert tainted["failures"] == clean["failures"]
+
+
+def test_family_cache_survives_rounds_in_pooled_mode(tmp_path):
+    # the run-wide pool keeps worker caches alive across convergence rounds,
+    # so pooled sweeps see cross-batch hits too (not just the serial path)
+    spec = _spec(p=5e-3, batch_shots=500, max_shots=3000)
+    report = run_sweep(spec, ResultStore(tmp_path), workers=2)
+    stats = report.outcomes[0].record["decode_stats"]
+    assert stats["cache_hits"] > 0
+    assert report.analyses_workers == 0
