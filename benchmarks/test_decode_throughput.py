@@ -18,6 +18,14 @@ mode, the dedup hit rate, and the speedups.  Scaling knobs:
 ``REPRO_DECODE_BENCH_BASELINE_SHOTS`` (default 20_000; the per-shot
 baselines are timed on a subset because their *rate* is shot-count
 independent, while dedup throughput legitimately grows with batch size).
+
+``test_decode_backend_throughput`` additionally races the decode-kernel
+*backends* (``python`` scalar pass vs ``numpy`` whole-batch union-find) on
+the kernel subsystem's acceptance configuration — d=7 at p=3e-3, where
+syndromes are heavy and dedup alone buys little — asserting bit-identical
+predictions and a >= 3x backend speedup; results go to
+``benchmarks/results/decode_backends.json``.  Knob:
+``REPRO_BACKEND_BENCH_SHOTS`` (default 50_000).
 """
 
 import os
@@ -278,3 +286,78 @@ def test_decode_throughput(benchmark):
         # the acceptance bar: >= 5x over the seed per-shot loop at 100k shots
         assert row["speedup_vs_seed_loop"] >= 5.0
         assert row["speedup_vs_per_shot_loop"] > 1.5
+
+
+# ---------------------------------------------------------------------------
+# decode-kernel backends: scalar pass vs vectorized whole-batch union-find
+# ---------------------------------------------------------------------------
+
+
+def _bench_decode_backends(shots: int, seed: int) -> dict:
+    # d=7 at p=3e-3: mean syndrome weight ~7.5, >90% of rows distinct — the
+    # regime where per-syndrome dispatch dominates and dedup cannot help, so
+    # whole-batch vectorization is the only lever left
+    noise = NoiseModel(hardware=GOOGLE, p=3e-3, idle_scale=0.0)
+    art = memory_experiment(7, 7, noise)
+    dem = circuit_to_dem(art.circuit)
+    graph = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(shots, rng=seed)
+
+    rates = {}
+    predictions = {}
+    stats = {}
+    repeats = {"python": 2, "numpy": 3, "numba": 3}
+    for backend in ("python", "numpy", "numba"):
+        decoder = UnionFindDecoder(graph)
+        state = {}
+
+        def _run():
+            engine = BatchDecodingEngine(decoder, dedup=True, cache_size=0,
+                                         backend=backend)
+            state["engine"] = engine
+            return engine.decode_batch(det)
+
+        _run()  # warm the bound kernel (and any jit) before timing
+        rates[backend], predictions[backend] = _best_rate(
+            _run, det.shape[0], repeats=repeats[backend]
+        )
+        stats[backend] = state["engine"].stats
+
+    from repro.decoders import kernels
+
+    assert np.array_equal(predictions["python"], predictions["numpy"]), (
+        "the numpy backend must be bit-identical to the python backend"
+    )
+    assert np.array_equal(predictions["python"], predictions["numba"])
+    assert stats["python"].decode_calls == stats["numpy"].decode_calls
+
+    return {
+        "config": {"decoder": "unionfind", "distance": 7, "p": 3e-3, "shots": shots},
+        "backends_available": kernels.available(),
+        "distinct_syndromes": stats["python"].distinct_syndromes,
+        "python_shots_per_sec": rates["python"],
+        "numpy_shots_per_sec": rates["numpy"],
+        "numba_shots_per_sec": rates["numba"],
+        "numpy_speedup_vs_python": rates["numpy"] / rates["python"],
+        "numba_speedup_vs_python": rates["numba"] / rates["python"],
+    }
+
+
+def test_decode_backend_throughput(benchmark):
+    shots = int(os.environ.get("REPRO_BACKEND_BENCH_SHOTS", 50_000))
+    row = run_once(benchmark, _bench_decode_backends, shots, bench_seed())
+    print(
+        f"\npython {row['python_shots_per_sec']:,.0f}/s   "
+        f"numpy {row['numpy_shots_per_sec']:,.0f}/s   "
+        f"numba {row['numba_shots_per_sec']:,.0f}/s   "
+        f"(numpy {row['numpy_speedup_vs_python']:.2f}x vs python, "
+        f"{row['distinct_syndromes']} distinct rows)"
+    )
+    record("decode_backends", row)
+
+    if shots >= 50_000:
+        # the kernel subsystem's acceptance bar: the vectorized whole-batch
+        # union-find must beat the scalar pass >= 3x at d=7, p=3e-3
+        assert row["numpy_speedup_vs_python"] >= 3.0
+        # numba degrades to (at least) the numpy kernel, never below it
+        assert row["numba_speedup_vs_python"] >= 0.8 * row["numpy_speedup_vs_python"]

@@ -15,6 +15,7 @@ __all__ = [
     "unpack_bits",
     "env_int",
     "env_float",
+    "env_str",
 ]
 
 
@@ -77,3 +78,9 @@ def env_float(name: str, default: float) -> float:
     """Float knob from the environment."""
     raw = os.environ.get(name)
     return default if raw is None else float(raw)
+
+
+def env_str(name: str, default: str) -> str:
+    """String knob from the environment (empty counts as unset)."""
+    raw = os.environ.get(name)
+    return default if not raw else raw

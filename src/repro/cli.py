@@ -8,9 +8,12 @@ Usage::
     python -m repro.cli run all --shots 20000
     python -m repro.cli run fig14 --decode-workers 8      # sharded decoding
     python -m repro.cli run fig14 --no-dedup              # reference decode path
+    python -m repro.cli run fig14 --decode-backend numpy  # vectorized kernel
 
     python -m repro.cli sweep run spec.json --store results/store --resume
     python -m repro.cli sweep status spec.json --store results/store
+    python -m repro.cli sweep export spec.json --store results/store --out rows.json
+    python -m repro.cli sweep gc --older-than 30 --store results/store --dry-run
     python -m repro.cli sweep clear --store results/store --yes
 
 Each driver prints its rows and (with ``--out``) writes JSON next to the
@@ -111,6 +114,16 @@ def _sweep_run(args) -> int:
         overrides["max_shots"] = args.max_shots
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.decode_backend is not None:
+        if args.decode_backend != "auto":
+            from .decoders import kernels
+
+            try:
+                kernels.get(args.decode_backend)  # fail fast on unknown names
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+        overrides["backend"] = args.decode_backend
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     if args.restart and args.resume:
@@ -170,6 +183,45 @@ def _sweep_status(args) -> int:
     return 0
 
 
+def _sweep_export(args) -> int:
+    from .experiments.sweeps import SweepSpec, export_records
+
+    spec = SweepSpec.from_json(args.spec)
+    if args.seed is not None:
+        # point keys depend on the seed: exports of a sweep that ran with
+        # `sweep run --seed N` need the same override to find its records
+        spec = dataclasses.replace(spec, seed=args.seed)
+    store = _resolve_store(args.store)
+    rows = export_records(spec, store)
+    payload = json.dumps(rows, indent=2, default=_jsonable)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(payload + "\n")
+        missing = sum(1 for r in rows if r.get("status") == "missing")
+        print(f"wrote {len(rows)} rows to {args.out} ({missing} missing)")
+    else:
+        print(payload)
+    return 0
+
+
+def _sweep_gc(args) -> int:
+    store = _resolve_store(args.store)
+    summary = store.gc(
+        older_than_seconds=args.older_than * 86400.0, dry_run=args.dry_run
+    )
+    verb = "would prune" if args.dry_run else "pruned"
+    print(
+        f"{verb} {summary['pruned']} of {summary['scanned']} records "
+        f"older than {args.older_than:g} days from {store.root}"
+    )
+    for key in summary["pruned_keys"]:
+        print(f"  {key}")
+    if summary["dirs_removed"]:
+        what = "would remove" if args.dry_run else "removed"
+        print(f"{what} empty dirs: {', '.join(summary['dirs_removed'])}")
+    return 0
+
+
 def _sweep_clear(args) -> int:
     store = _resolve_store(args.store)
     count = len(store)
@@ -214,9 +266,43 @@ def main(argv=None) -> int:
     )
     sweep_run.add_argument("--max-shots", type=int, default=None)
     sweep_run.add_argument("--seed", type=int, default=None)
+    sweep_run.add_argument(
+        "--decode-backend",
+        default=None,
+        metavar="NAME",
+        help="decode-kernel backend for this sweep (python/numpy/numba/auto);"
+        " bit-identical across backends, so stored records are unaffected",
+    )
     sweep_status = sweep_sub.add_parser("status", help="inspect a store / spec")
     sweep_status.add_argument("spec", nargs="?", type=Path, default=None)
     sweep_status.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_export = sweep_sub.add_parser(
+        "export",
+        help="emit a sweep's stored records in the benchmark-harness JSON"
+        " row format (no decoding)",
+    )
+    sweep_export.add_argument("spec", type=Path, help="sweep spec JSON file")
+    sweep_export.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_export.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="write the rows here instead of stdout",
+    )
+    sweep_export.add_argument(
+        "--seed", type=int, default=None,
+        help="override the spec seed (match a `sweep run --seed N` store)",
+    )
+    sweep_gc = sweep_sub.add_parser(
+        "gc", help="prune stale records and empty point directories"
+    )
+    sweep_gc.add_argument(
+        "--older-than", type=float, required=True, metavar="DAYS",
+        help="prune records whose last checkpoint is older than this many days",
+    )
+    sweep_gc.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
     sweep_clear = sweep_sub.add_parser("clear", help="delete every stored record")
     sweep_clear.add_argument("--store", type=Path, default=None, metavar="DIR")
     sweep_clear.add_argument("--yes", action="store_true")
@@ -242,6 +328,17 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable syndrome deduplication (reference per-shot decoding)",
     )
+    runp.add_argument(
+        "--decode-backend",
+        default=None,
+        metavar="NAME",
+        help=(
+            "decode-kernel backend: python (scalar reference), numpy "
+            "(vectorized whole-batch), numba (jitted, degrades to numpy), "
+            "or auto (default: fastest available); all backends produce "
+            "bit-identical results"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -253,6 +350,10 @@ def main(argv=None) -> int:
             return _sweep_run(args)
         if args.sweep_command == "status":
             return _sweep_status(args)
+        if args.sweep_command == "export":
+            return _sweep_export(args)
+        if args.sweep_command == "gc":
+            return _sweep_gc(args)
         return _sweep_clear(args)
 
     # route the decode-engine knobs to every driver via the process defaults,
@@ -267,6 +368,15 @@ def main(argv=None) -> int:
         _ler.DECODE_DEFAULTS["workers"] = args.decode_workers
     if args.no_dedup:
         _ler.DECODE_DEFAULTS["dedup"] = False
+    if args.decode_backend is not None:
+        if args.decode_backend != "auto":
+            from .decoders import kernels
+
+            try:
+                kernels.get(args.decode_backend)
+            except KeyError as exc:
+                parser.error(str(exc))
+        _ler.DECODE_DEFAULTS["backend"] = args.decode_backend
     try:
         if args.figure == "all":
             for key in sorted(DRIVERS):

@@ -15,6 +15,11 @@ Layers on top of the base class:
   bounded LRU :class:`~repro.decoders.batch.SyndromeCache` that persists
   across batches, plus throughput statistics; used by the streaming LER
   pipeline (:mod:`repro.experiments.ler`).
+* :mod:`~repro.decoders.kernels` — pluggable decode-kernel backends for the
+  distinct-syndrome matrix: ``python`` (scalar reference), ``numpy``
+  (vectorized whole-batch union-find), ``numba`` (jitted, soft import).
+  Backends are bit-identical; select via ``REPRO_DECODE_BACKEND``, the CLI
+  ``--decode-backend`` flag, or the ``backend=`` arguments (docs/DECODERS.md).
 * Concrete decoders: :class:`UnionFindDecoder` (workhorse),
   :class:`MWPMDecoder` (accuracy reference), :class:`LookupTableDecoder`
   (exact within budget), :class:`PredecodedDecoder` (local pass in front of a
@@ -22,6 +27,7 @@ Layers on top of the base class:
   a latency model).
 """
 
+from . import kernels
 from .batch import (
     BatchDecodeStats,
     BatchDecodingEngine,
@@ -43,6 +49,7 @@ from .predecoder import PredecodedDecoder, Predecoder, PredecodeStats
 from .unionfind import UnionFindDecoder
 
 __all__ = [
+    "kernels",
     "BatchDecodeStats",
     "BatchDecodingEngine",
     "Decoder",

@@ -18,6 +18,12 @@ an empty or tiny syndrome, so a 100k-shot batch contains only a few thousand
 * :class:`BatchDecodingEngine` — wraps a decoder with dedup + cache and
   tracks throughput statistics (:class:`BatchDecodeStats`): shots, distinct
   syndromes, cache hits, decode calls and wall-clock decode time.
+* decode-kernel **backends** (:mod:`repro.decoders.kernels`) — the distinct-
+  syndrome matrix is decoded through a pluggable backend: ``python`` runs
+  the scalar per-syndrome pass, ``numpy`` decodes the whole matrix with a
+  vectorized batched union-find, ``numba`` jits the numpy kernel's
+  primitives when numba is importable.  All backends are bit-identical;
+  selection: ``backend=`` argument > ``REPRO_DECODE_BACKEND`` > ``auto``.
 
 Decoder subclasses implement ``decode(detectors) -> int`` (an observable
 bitmask, limited to 64 observables by the matching graph) and inherit the
@@ -198,9 +204,15 @@ class Decoder:
         *,
         dedup: bool = True,
         cache: SyndromeCache | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
-        """Decode ``(shots, num_detectors)`` outcomes to ``(shots, nobs)`` bools."""
-        return decode_batch_dedup(self, detectors, dedup=dedup, cache=cache)
+        """Decode ``(shots, num_detectors)`` outcomes to ``(shots, nobs)`` bools.
+
+        ``backend`` names a decode-kernel backend (:mod:`repro.decoders.kernels`);
+        None resolves ``REPRO_DECODE_BACKEND`` and then ``auto``.  Backends
+        are bit-identical — they change wall time, never predictions.
+        """
+        return decode_batch_dedup(self, detectors, dedup=dedup, cache=cache, backend=backend)
 
 
 def decode_batch_dedup(
@@ -210,11 +222,15 @@ def decode_batch_dedup(
     dedup: bool = True,
     cache: SyndromeCache | None = None,
     stats: BatchDecodeStats | None = None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Dedup-and-scatter batch decode around any :class:`Decoder`-like object.
 
     ``decoder`` needs ``graph.num_observables`` and ``_decode_one`` (or plain
     ``decode``).  With ``dedup=False`` this is the reference per-shot loop.
+    ``backend`` selects a decode-kernel backend for the distinct-syndrome
+    matrix (see :mod:`repro.decoders.kernels`); when the resolved backend has
+    no kernel for this decoder, the scalar pass runs unchanged.
     """
     det = np.asarray(detectors, dtype=bool)
     if det.ndim != 2:
@@ -251,9 +267,41 @@ def decode_batch_dedup(
     uniq, inverse = _unique_rows(packed)
     counts = np.bincount(inverse, minlength=uniq.shape[0]).tolist()
     rows = unpack_bits(uniq, det.shape[1])
-    decode_rows = getattr(decoder, "_decode_rows", None)
-    if decode_rows is not None and cache is None:
-        # whole-matrix fast path (e.g. the vectorized predecoder): one call
+    from . import kernels  # deferred: kernels imports decoder classes
+
+    decode_rows = kernels.bind(decoder, backend)
+    if decode_rows is None and cache is None:
+        decode_rows = getattr(decoder, "_decode_rows", None)
+    if decode_rows is not None and cache is not None:
+        # backend kernel + memo cache: serve the cached distinct rows, decode
+        # the misses in one whole-matrix call, remember them.  Counters match
+        # the scalar cached pass (hits/misses per distinct row, one decode
+        # call per miss); only the LRU refresh order differs, because every
+        # lookup happens before the first insert.
+        n = uniq.shape[0]
+        row_masks = np.zeros(n, dtype=np.uint64)
+        miss = []
+        for i in range(n):
+            hit, mask = cache.get(uniq[i].tobytes())
+            if hit:
+                row_masks[i] = mask
+            else:
+                miss.append(i)
+        if miss:
+            decoded = np.asarray(decode_rows(rows[miss], [counts[i] for i in miss]),
+                                 dtype=np.uint64)
+            row_masks[miss] = decoded
+            for j, i in enumerate(miss):
+                cache.put(uniq[i].tobytes(), int(decoded[j]))
+        if stats is not None:
+            stats.distinct_syndromes += n
+            stats.cache_hits += n - len(miss)
+            stats.cache_misses += len(miss)
+            stats.decode_calls += len(miss)
+        return expand_obs_masks(row_masks, nobs)[inverse]
+    if decode_rows is not None:
+        # whole-matrix fast path (a backend kernel, or the decoder's own
+        # ``_decode_rows`` hook such as the vectorized predecoder): one call
         # for every distinct syndrome, no per-row python dispatch
         row_masks = decode_rows(rows, counts)
         if stats is not None:
@@ -308,9 +356,12 @@ class BatchDecodingEngine:
         dedup: bool = True,
         cache_size: int = 0,
         cache: SyndromeCache | None = None,
+        backend: str | None = None,
     ):
         self.decoder = decoder
         self.dedup = dedup
+        #: decode-kernel backend name (None: REPRO_DECODE_BACKEND, then auto)
+        self.backend = backend
         # the memo cache only exists on the dedup path; the per-shot
         # reference loop must stay a true per-shot loop.  An explicit
         # ``cache`` instance overrides ``cache_size`` — sweep orchestration
@@ -333,6 +384,7 @@ class BatchDecodingEngine:
             dedup=self.dedup,
             cache=self.cache,
             stats=self.stats,
+            backend=self.backend,
         )
         self.stats.decode_seconds += time.perf_counter() - t0
         return out

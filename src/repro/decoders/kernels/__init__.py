@@ -1,0 +1,129 @@
+"""Pluggable decode-kernel backends with capability discovery.
+
+The decoder layer's hot path — decoding the distinct-syndrome matrix of a
+batch — is pluggable: a *backend* (:class:`KernelBackend`) may bind a
+decoder to a vectorized whole-matrix kernel, and every backend is
+**bit-identical** to the scalar reference pass, so swapping backends can
+never change experiment results, only their wall time.
+
+Built-in backends (see :mod:`.backends`):
+
+========  ==============================================================
+name      strategy
+========  ==============================================================
+python    the scalar per-syndrome pass, always available (the fallback)
+numpy     vectorized whole-batch union-find (:mod:`.batched_unionfind`)
+numba     numpy kernel with jitted primitives; degrades to ``numpy``
+========  ==============================================================
+
+Selection precedence, resolved by :func:`resolve`:
+
+1. an explicit backend name (CLI ``--decode-backend``, or the ``backend=``
+   argument threaded through ``decode_batch`` / ``run_surgery_ler`` /
+   ``SweepSpec``; the experiments layer defaults it from
+   ``repro.experiments.ler.DECODE_DEFAULTS``),
+2. the ``REPRO_DECODE_BACKEND`` environment variable,
+3. ``auto`` — the fastest available backend (``numba`` > ``numpy`` >
+   ``python``).
+
+An unavailable backend degrades silently along its ``fallback`` chain
+(``numba`` -> ``numpy``), so naming a backend whose soft dependency is
+missing still decodes correctly.  Third-party backends (a C extension, a
+GPU kernel, ...) plug in through :func:`register` without touching the
+engine.  Full catalogue and knobs: ``docs/DECODERS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .backends import NumbaBackend, NumpyBackend, PythonBackend
+from .base import KernelBackend
+from .batched_unionfind import BatchedUnionFind
+
+__all__ = [
+    "KernelBackend",
+    "PythonBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "BatchedUnionFind",
+    "register",
+    "names",
+    "available",
+    "get",
+    "resolve",
+    "bind",
+    "AUTO_ORDER",
+]
+
+#: preference order of the ``auto`` backend (first available wins)
+AUTO_ORDER = ("numba", "numpy", "python")
+
+_REGISTRY: dict[str, KernelBackend] = {}
+
+
+def register(backend: KernelBackend, *, replace: bool = False) -> KernelBackend:
+    """Register a backend under its ``name``; returns it for chaining."""
+    if not backend.name:
+        raise ValueError("backend needs a non-empty name")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {backend.name!r} is already registered (pass replace=True)"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def names() -> list[str]:
+    """All registered backend names (sorted)."""
+    return sorted(_REGISTRY)
+
+
+def available() -> list[str]:
+    """Names of the backends whose dependencies are importable right now."""
+    return [n for n in sorted(_REGISTRY) if _REGISTRY[n].available()]
+
+
+def get(name: str) -> KernelBackend:
+    """The registered backend of that exact name (no fallback resolution)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown decode backend {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def resolve(name: str | None = None) -> KernelBackend:
+    """Resolve a backend name to a usable backend.
+
+    ``None`` consults ``REPRO_DECODE_BACKEND`` and then ``auto``; ``auto``
+    picks the first available of :data:`AUTO_ORDER`; an explicit but
+    unavailable backend walks its ``fallback`` chain silently.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_DECODE_BACKEND") or "auto"
+    if name == "auto":
+        for candidate in AUTO_ORDER:
+            backend = _REGISTRY.get(candidate)
+            if backend is not None and backend.available():
+                return backend
+        return get("python")
+    backend = get(name)
+    seen = {backend.name}
+    while not backend.available() and backend.fallback:
+        backend = get(backend.fallback)
+        if backend.name in seen:  # pragma: no cover - defensive
+            break
+        seen.add(backend.name)
+    return backend
+
+
+def bind(decoder, name: str | None = None):
+    """Bind ``decoder`` under the resolved backend; None means scalar pass."""
+    return resolve(name).bind(decoder)
+
+
+register(PythonBackend())
+register(NumpyBackend())
+register(NumbaBackend())

@@ -27,7 +27,11 @@ class UnionFindDecoder(Decoder):
     Not reentrant: each instance reuses per-node scratch state between
     ``decode`` calls (reset after every call), so share one instance per
     process/thread — the multiprocess sweep runner already does this; do not
-    call the same instance from multiple threads concurrently.
+    call the same instance from multiple threads concurrently, and do not
+    recurse into ``decode`` from a subclass hook while a decode is running.
+    Reentrant calls would silently corrupt the shared scratch lists and
+    produce wrong corrections, so :meth:`_decode_defects` guards against
+    them and raises ``RuntimeError`` instead.
     """
 
     def __init__(self, graph: MatchingGraph, *, weight_resolution: int = 16):
@@ -53,6 +57,7 @@ class UnionFindDecoder(Decoder):
         self._parity = [0] * n
         self._bnd = [False] * n
         self._members: list = [None] * n
+        self._in_use = False
 
     # -- public API ----------------------------------------------------------
 
@@ -77,6 +82,13 @@ class UnionFindDecoder(Decoder):
         # union-find over reusable per-node scratch lists; `touched` records
         # every node whose state left the pristine shape so the finally-block
         # can restore it in O(touched) instead of reallocating
+        if self._in_use:
+            raise RuntimeError(
+                "UnionFindDecoder is not reentrant: its per-node scratch state "
+                "is shared between decode calls; use one instance per "
+                "process/thread (see the class docstring)"
+            )
+        self._in_use = True
         parent = self._parent
         rank = self._rank
         parity = self._parity
@@ -185,14 +197,23 @@ class UnionFindDecoder(Decoder):
                 parity[a] = 0
                 touches_boundary[a] = False
                 members[a] = None
+            self._in_use = False
 
     def _peel(self, defects: list[int], solid: set[int]) -> int:
-        """Peel a spanning forest of the solid subgraph; boundary is a sink."""
+        """Peel a spanning forest of the solid subgraph; boundary is a sink.
+
+        The forest is *canonical* — adjacency lists in ascending edge order,
+        FIFO breadth-first traversal, component roots preferring the boundary
+        node and then the first endpoint appearance — so that it depends only
+        on the *content* of ``solid``, never on set iteration order.  The
+        batched kernels (:mod:`repro.decoders.kernels`) reproduce exactly
+        this forest to stay bit-identical with the scalar pass.
+        """
         if not solid:
             return 0
         eu, ev, eobs = self._eu, self._ev, self._eobs
         adj: dict[int, list[int]] = {}
-        for e in solid:
+        for e in sorted(solid):
             a, b = eu[e], ev[e]
             adj.setdefault(a, []).append(e)
             adj.setdefault(b, []).append(e)
@@ -201,7 +222,7 @@ class UnionFindDecoder(Decoder):
         visited: set[int] = set()
         order: list[tuple[int, int, int]] = []  # (node, parent, edge)
         boundary = self._boundary
-        if boundary in adj:  # boundary-first, others in insertion order
+        if boundary in adj:  # boundary-first, others in first-appearance order
             nodes = [boundary] + [n for n in adj if n != boundary]
         else:
             nodes = list(adj)
@@ -209,16 +230,18 @@ class UnionFindDecoder(Decoder):
             if start in visited:
                 continue
             visited.add(start)
-            stack = [start]
-            while stack:
-                node = stack.pop()
+            queue = [start]
+            head = 0
+            while head < len(queue):
+                node = queue[head]
+                head += 1
                 for e in adj[node]:
                     other = ev[e] if eu[e] == node else eu[e]
                     if other in visited:
                         continue
                     visited.add(other)
                     order.append((other, node, e))
-                    stack.append(other)
+                    queue.append(other)
 
         defect_set: set[int] = set()
         for d in defects:

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._util import env_int, resolve_rng
+from .._util import env_int, env_str, resolve_rng
 from ..codes.surgery import SurgerySpec, surgery_experiment
 from ..core.policies import SyncScenario, _BasePolicy, policy_fields
 from ..decoders.batch import BatchDecodingEngine
@@ -67,12 +67,15 @@ def pipeline_analysis_count() -> int:
 PIPELINE_CACHE_SIZE: int = env_int("REPRO_PIPELINE_CACHE_SIZE", 32)
 
 #: process-wide decode-engine defaults, overridable per call; the CLI's
-#: ``--decode-workers``/``--no-dedup`` flags and the ``REPRO_DECODE_*``
-#: environment knobs land here
+#: ``--decode-workers``/``--no-dedup``/``--decode-backend`` flags and the
+#: ``REPRO_DECODE_*`` environment knobs land here
 DECODE_DEFAULTS: dict = {
     "dedup": bool(env_int("REPRO_DECODE_DEDUP", 1)),
     "workers": env_int("REPRO_DECODE_WORKERS", 1),
     "cache_size": env_int("REPRO_DECODE_CACHE", 1 << 15),
+    # decode-kernel backend (repro.decoders.kernels): "auto" picks the
+    # fastest available; every backend is bit-identical to "python"
+    "backend": env_str("REPRO_DECODE_BACKEND", "auto"),
 }
 
 
@@ -162,11 +165,14 @@ class _Pipeline:
         self.artifacts = None
         self._summary = dict(payload.plan_summary)
         self._init_decode(payload.dem, payload.basis)
+        self.payload_backend = payload.backend
         return self
 
     def _init_decode(self, dem, basis: str) -> None:
         self.dem = dem
         self.basis = basis
+        #: decode-kernel backend carried by a warm handoff (None otherwise)
+        self.payload_backend = None
         self.graph: MatchingGraph = build_matching_graph(dem, basis=basis)
         self.sampler = DemSampler(dem)
         self._detector_mask = np.array(
@@ -249,7 +255,9 @@ class PipelinePayload:
     policy plan, so the expensive analysis (surgery synthesis + DEM
     extraction) runs once in the coordinating process instead of once per
     worker.  ``key`` is the pipeline identity used for worker-side caching
-    (same key as the in-process pipeline LRU).
+    (same key as the in-process pipeline LRU).  ``backend`` is the decode-
+    kernel backend the coordinator selected; shard workers default to it so
+    every shard of a configuration decodes through the same backend.
     """
 
     key: tuple
@@ -257,9 +265,12 @@ class PipelinePayload:
     dem: object
     basis: str
     plan_summary: dict
+    backend: str | None = None
 
 
-def pipeline_payload(config: SurgeryLerConfig, policy: _BasePolicy) -> PipelinePayload:
+def pipeline_payload(
+    config: SurgeryLerConfig, policy: _BasePolicy, *, backend: str | None = None
+) -> PipelinePayload:
     """Analyze ``config`` (or reuse the cache) and package it for handoff."""
     pipe = prepared_pipeline(config, policy)
     return PipelinePayload(
@@ -268,6 +279,7 @@ def pipeline_payload(config: SurgeryLerConfig, policy: _BasePolicy) -> PipelineP
         dem=pipe.dem,
         basis=pipe.basis,
         plan_summary=pipe.plan_summary(),
+        backend=backend,
     )
 
 
@@ -297,6 +309,7 @@ def run_surgery_ler(
     dedup: bool | None = None,
     cache_size: int | None = None,
     decode_workers: int | None = None,
+    backend: str | None = None,
     pipeline: "_Pipeline | None" = None,
     syndrome_cache=None,
 ) -> LerResult:
@@ -304,12 +317,15 @@ def run_surgery_ler(
 
     Batches of at most ``batch_size`` shots are sampled, decoded and reduced
     to failure counts immediately, so peak memory is independent of
-    ``shots``.  ``dedup``/``cache_size``/``decode_workers`` default to
-    :data:`DECODE_DEFAULTS`; with ``decode_workers > 1`` the run is sharded
-    across a process pool (bit-identical for any worker count >= 2 given the
-    same seed).  The sharded path draws from ``SeedSequence.spawn`` child
-    streams, so its results are statistically equivalent to — but not
-    bit-identical with — the serial single-stream path.
+    ``shots``.  ``dedup``/``cache_size``/``decode_workers``/``backend``
+    default to :data:`DECODE_DEFAULTS`; with ``decode_workers > 1`` the run
+    is sharded across a process pool (bit-identical for any worker count
+    >= 2 given the same seed).  The sharded path draws from
+    ``SeedSequence.spawn`` child streams, so its results are statistically
+    equivalent to — but not bit-identical with — the serial single-stream
+    path.  ``backend`` names a decode-kernel backend
+    (:mod:`repro.decoders.kernels`); backends are bit-identical, so this
+    knob affects wall time only.
 
     ``pipeline`` injects a pre-analyzed pipeline (from
     :func:`prepared_pipeline` or :meth:`_Pipeline.from_payload`) and
@@ -320,6 +336,7 @@ def run_surgery_ler(
     dedup = DECODE_DEFAULTS["dedup"] if dedup is None else dedup
     cache_size = DECODE_DEFAULTS["cache_size"] if cache_size is None else cache_size
     workers = DECODE_DEFAULTS["workers"] if decode_workers is None else decode_workers
+    backend = DECODE_DEFAULTS["backend"] if backend is None else backend
     if workers > 1 and shots > 1 and pipeline is None and syndrome_cache is None:
         from .parallel import run_sharded_ler  # local import: avoids a cycle
 
@@ -335,12 +352,17 @@ def run_surgery_ler(
             dedup=dedup,
             batch_size=batch_size,
             cache_size=cache_size,
+            backend=backend,
         )
 
     rng = resolve_rng(rng)
     pipe = pipeline if pipeline is not None else prepared_pipeline(config, policy)
     engine = BatchDecodingEngine(
-        pipe.decoder(decoder), dedup=dedup, cache_size=cache_size, cache=syndrome_cache
+        pipe.decoder(decoder),
+        dedup=dedup,
+        cache_size=cache_size,
+        cache=syndrome_cache,
+        backend=backend,
     )
     nobs = pipe.dem.num_observables
     failures = np.zeros(nobs, dtype=np.int64)
@@ -355,6 +377,7 @@ def run_surgery_ler(
         estimates=estimates,
         plan_summary=pipe.plan_summary(),
         decode_stats={
+            "backend": backend,
             "batches": stats.batches,
             "distinct_syndromes": stats.distinct_syndromes,
             "decode_calls": stats.decode_calls,

@@ -134,6 +134,9 @@ class SweepTask:
     dedup: bool | None = None
     batch_size: int = 65536
     cache_size: int | None = None
+    #: decode-kernel backend; None defers to the warm payload's backend and
+    #: then the worker's own DECODE_DEFAULTS
+    backend: str | None = None
     #: when set, the executing worker looks this key up in its warm-pipeline
     #: cache (see :func:`warm_worker`) instead of re-analyzing the circuit
     pipeline_key: tuple | None = None
@@ -158,6 +161,11 @@ def _run_task(task: SweepTask) -> LerResult:
                 if task.cache_size is None
                 else task.cache_size,
             )
+    # shards must agree on the decode backend: an explicit task backend wins,
+    # then the backend the coordinator stamped into the warm payload
+    backend = task.backend
+    if backend is None and pipeline is not None:
+        backend = getattr(pipeline, "payload_backend", None)
     analyses_before = _ler.PIPELINE_ANALYSES
     # decode_workers=1: a worker never re-shards, whatever the process-wide
     # DECODE_DEFAULTS say
@@ -171,6 +179,7 @@ def _run_task(task: SweepTask) -> LerResult:
         batch_size=task.batch_size,
         cache_size=task.cache_size,
         decode_workers=1,
+        backend=backend,
         pipeline=pipeline,
         syndrome_cache=cache,
     )
@@ -232,6 +241,7 @@ def shard_tasks(
     dedup: bool | None = None,
     batch_size: int = 65536,
     cache_size: int | None = None,
+    backend: str | None = None,
     pipeline_key: tuple | None = None,
 ) -> list[SweepTask]:
     """Split one configuration's shots into independently seeded shard tasks.
@@ -261,6 +271,7 @@ def shard_tasks(
                 dedup=dedup,
                 batch_size=batch_size,
                 cache_size=cache_size,
+                backend=backend,
                 pipeline_key=pipeline_key,
             )
         )
@@ -279,6 +290,7 @@ def run_sharded_ler(
     dedup: bool | None = None,
     batch_size: int = 65536,
     cache_size: int | None = None,
+    backend: str | None = None,
     payload: "PipelinePayload | None | bool" = None,
 ) -> LerResult:
     """Decode one configuration's shots sharded across a process pool.
@@ -297,7 +309,7 @@ def run_sharded_ler(
     ``decode_stats["pipeline_analyses"]`` totals show the difference.
     """
     if payload is True:
-        payload = pipeline_payload(config, policy)
+        payload = pipeline_payload(config, policy, backend=backend)
     tasks = shard_tasks(
         config,
         policy.name,
@@ -309,13 +321,15 @@ def run_sharded_ler(
         dedup=dedup,
         batch_size=batch_size,
         cache_size=cache_size,
+        backend=backend,
         pipeline_key=None if payload is None else payload.key,
     )
     if not tasks:
         # zero shots: fall back to the serial path so the result has the
         # same shape (one zero-shot estimate per observable, full stats)
         return run_surgery_ler(
-            config, policy, 0, rng, decoder=decoder, dedup=dedup, decode_workers=1
+            config, policy, 0, rng, decoder=decoder, dedup=dedup,
+            backend=backend, decode_workers=1,
         )
     results = run_sweep_parallel(
         tasks,
@@ -336,6 +350,7 @@ def run_sharded_ler(
         )
     }
     totals["shards"] = len(results)
+    totals["backend"] = results[0].decode_stats.get("backend")
     totals["dedup_hit_rate"] = (
         1.0 - totals["decode_calls"] / shots if shots else 0.0
     )

@@ -20,7 +20,15 @@ Consequences:
   ``target_rse``) or the shot cap is hit.  Convergence is evaluated batch by
   batch in index order, so the stopping decision is independent of the
   worker count (a parallel round may decode a few batches past the stopping
-  point; they are discarded, not accumulated).
+  point; they are discarded, not accumulated).  With
+  ``adaptive_batching=True`` batch *sizes* also adapt: once one more batch
+  improves the tracked RSE by <= 10%, the next batch doubles (capped at
+  ``max_batch_shots``), with the deterministic size schedule checkpointed in
+  the record so resume and worker counts still cannot change results.
+* **Exportable / collectable** — :func:`export_records` (CLI ``repro sweep
+  export``) emits stored records in the benchmark-harness JSON row format
+  without decoding anything, and ``repro sweep gc --older-than DAYS``
+  prunes stale records plus emptied point directories.
 * **Warm workers** — the orchestrator analyzes each configuration once and
   hands workers a serialized DEM (:class:`~repro.experiments.ler.PipelinePayload`);
   workers rebuild the decode pipeline without re-running circuit analysis
@@ -56,6 +64,7 @@ __all__ = [
     "run_sweep",
     "ensure_point",
     "point_record_estimates",
+    "export_records",
 ]
 
 #: decode-stat counters accumulated batch-by-batch into stored records
@@ -104,6 +113,11 @@ class SweepSpec:
     t_pp_ns: float | None = None
     base_rounds: int | None = None
     decoder: str = "unionfind"
+    #: decode-kernel backend (repro.decoders.kernels).  Deliberately *not*
+    #: part of the point key: backends are bit-identical, so records decoded
+    #: under different backends are interchangeable.  Carried into the warm
+    #: worker payloads so every shard of a point uses the same backend.
+    backend: str | None = None
     seed: int = 2025
     #: shots decoded (and checkpointed) per batch; part of every point key
     batch_shots: int = 5000
@@ -115,12 +129,31 @@ class SweepSpec:
     target_rse: float | None = None
     #: observable index the stopping rule tracks; None = most-failing one
     observable: int | None = None
+    #: adaptive batch sizing: once the tracked rate estimate's RSE trend
+    #: stabilizes (one more batch improves it by <= 10%), the next batch
+    #: doubles, capped at ``max_batch_shots``.  The size schedule is a pure
+    #: function of the applied batch prefix (and is checkpointed in the
+    #: record), so resume stays bit-identical and worker counts cannot
+    #: change results.  Batch *seeds* stay pure in (seed, key, batch index).
+    adaptive_batching: bool = False
+    #: cap for grown batches; None = 8 * batch_shots
+    max_batch_shots: int | None = None
 
     def __post_init__(self):
         if self.batch_shots < 1:
             raise ValueError("batch_shots must be positive")
         if self.max_shots < 1:
             raise ValueError("max_shots must be positive")
+        if self.max_batch_shots is not None and self.max_batch_shots < self.batch_shots:
+            raise ValueError("max_batch_shots cannot be below batch_shots")
+
+    def resolved_max_batch_shots(self) -> int:
+        """The grown-batch cap (defaults to 8x the seed batch size)."""
+        return (
+            self.max_batch_shots
+            if self.max_batch_shots is not None
+            else 8 * self.batch_shots
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
@@ -310,6 +343,11 @@ def _fresh_record(spec: SweepSpec, pt: SweepPoint, key: str, nobs: int) -> dict:
         "stop_reason": None,
         "plan_summary": {},
         "decode_stats": {k: 0 for k in _ACCUM_KEYS},
+        # adaptive batch sizing state: the planned size of the next batch and
+        # the last observed relative half-width, both checkpointed so a
+        # resumed sweep replays the same deterministic size schedule
+        "batch_shots_next": spec.batch_shots,
+        "rse_prev": None,
     }
 
 
@@ -374,7 +412,8 @@ class _SweepRun:
         return np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
 
     def _run_batches(
-        self, payload, blob, pt: SweepPoint, key: str, first_batch: int, n: int
+        self, payload, blob, pt: SweepPoint, key: str, first_batch: int, n: int,
+        batch_shots: int,
     ):
         """Decode batches ``first_batch .. first_batch+n-1`` of one point.
 
@@ -390,9 +429,10 @@ class _SweepRun:
                 config=pt.config,
                 policy_name=pt.policy_name,
                 policy_kwargs=pt.policy_kwargs,
-                shots=spec.batch_shots,
+                shots=batch_shots,
                 seed=self._batch_seed(key, first_batch + i),
                 decoder=pt.decoder,
+                backend=spec.backend,
                 pipeline_key=payload.key,
                 payload_blob=blob,
             )
@@ -432,7 +472,9 @@ class _SweepRun:
         analyses_before = _ler.PIPELINE_ANALYSES
         try:
             payload = _ler.pipeline_payload(
-                pt.config, make_policy(pt.policy_name, **dict(pt.policy_kwargs))
+                pt.config,
+                make_policy(pt.policy_name, **dict(pt.policy_kwargs)),
+                backend=spec.backend,
             )
         except PolicyNotApplicableError as exc:
             record = _fresh_record(spec, pt, key, nobs=0)
@@ -455,16 +497,15 @@ class _SweepRun:
         # pickled once per point; reused by every batch task of this point
         blob = pickle.dumps(payload) if self.workers > 1 else None
         new_shots = 0
+        new_batches = 0
         while True:
             done, reason = _converged(record["failures"], record["shots"], spec)
             if done:
                 record.update(converged=True, stop_reason=reason)
                 self.store.put(key, record)
                 break
-            remaining = max(
-                1,
-                -(-(spec.max_shots - record["shots"]) // spec.batch_shots),
-            )
+            size = self._planned_batch_shots(record)
+            remaining = max(1, -(-(spec.max_shots - record["shots"]) // size))
             want = min(self.workers, remaining)
             allowed = self.budget.take(want)
             if allowed == 0:
@@ -473,12 +514,19 @@ class _SweepRun:
                 self.store.put(key, record)
                 break
             results = self._run_batches(
-                payload, blob, pt, key, record["batches"], allowed
+                payload, blob, pt, key, record["batches"], allowed, size
             )
             self.budget.spend(allowed)
             for res in results:
                 if res is None:
                     continue
+                if res.shots != self._planned_batch_shots(record):
+                    # adaptive sizing grew the plan mid-round: this batch
+                    # (and the rest of the round) was dispatched at a stale
+                    # size, so it is discarded and re-decoded at the planned
+                    # size — the applied (index, size) sequence is a pure
+                    # function of the prefix, independent of worker count
+                    break
                 failures = [e.successes for e in res.estimates]
                 record["failures"] = [
                     a + b for a, b in zip(record["failures"], failures)
@@ -491,6 +539,8 @@ class _SweepRun:
                     "pipeline_analyses", 0
                 )
                 new_shots += res.shots
+                new_batches += 1
+                self._update_batch_plan(record)
                 done, _ = _converged(record["failures"], record["shots"], spec)
                 if done:
                     break  # later batches of this round are discarded
@@ -506,8 +556,45 @@ class _SweepRun:
                 f"failures={record['failures']}"
             )
         self.report.shots_decoded += new_shots
-        self.report.batches_decoded += new_shots // spec.batch_shots
+        self.report.batches_decoded += new_batches
         return self._outcome(pt, key, record, new_shots=new_shots)
+
+    def _planned_batch_shots(self, record: dict) -> int:
+        """The deterministic size of the point's next batch."""
+        return int(record.get("batch_shots_next") or self.spec.batch_shots)
+
+    def _update_batch_plan(self, record: dict) -> None:
+        """Grow the next batch once the RSE trend stabilizes (adaptive mode).
+
+        After every applied batch the tracked observable's relative Wilson
+        half-width is compared with its previous value: when one more batch
+        improved it by 10% or less, the estimate is in its slowly-converging
+        tail and the next batch doubles (capped at ``max_batch_shots``).
+        Both the plan and the last RSE live in the record, so the schedule
+        is a pure function of the applied batch prefix.
+        """
+        spec = self.spec
+        if not spec.adaptive_batching:
+            return
+        current = self._planned_batch_shots(record)
+        failures, shots = record["failures"], record["shots"]
+        k = _tracked_observable(failures, spec.observable)
+        rse = None
+        if k < len(failures) and failures[k] > 0 and shots > 0:
+            rate = failures[k] / shots
+            lo, hi = wilson_interval(failures[k], shots)
+            rse = (hi - lo) / 2.0 / rate
+        prev = record.get("rse_prev")
+        if (
+            rse is not None
+            and prev is not None
+            and rse < prev
+            and prev - rse <= 0.1 * prev
+        ):
+            record["batch_shots_next"] = min(
+                current * 2, spec.resolved_max_batch_shots()
+            )
+        record["rse_prev"] = rse
 
     def _outcome(self, pt, key, record, *, new_shots: int = 0) -> PointOutcome:
         outcome = PointOutcome(point=pt, key=key, record=record, new_shots=new_shots)
@@ -553,6 +640,58 @@ def run_sweep(
     return run.report
 
 
+def export_records(spec: SweepSpec, store: ResultStore) -> list[dict]:
+    """Stored records of a sweep in the benchmark-harness JSON row format.
+
+    One row per point of the expanded grid, in sweep order, shaped like the
+    per-figure benchmark outputs under ``benchmarks/results/``: flat
+    configuration columns plus ``ler`` / ``wilson`` series derived from the
+    stored failure counts.  Decodes nothing — points never run are emitted
+    with ``status: "missing"`` so the harness can tell a partial sweep from
+    an empty one.  The CLI surface is ``repro sweep export``.
+    """
+    rows = []
+    for pt in spec.points():
+        key = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+        record = store.get(key)
+        cfg = pt.config
+        row = {
+            "sweep": spec.name,
+            "key": key,
+            "distance": cfg.distance,
+            "tau_ns": cfg.tau_ns,
+            "policy": pt.policy_name,
+            "policy_kwargs": dict(pt.policy_kwargs),
+            "p": cfg.p,
+            "hardware": cfg.hardware.name,
+            "decoder": pt.decoder,
+            "seed": spec.seed,
+            "batch_shots": spec.batch_shots,
+        }
+        if record is None:
+            row["status"] = "missing"
+            rows.append(row)
+            continue
+        row["status"] = record.get("status", "ok")
+        if row["status"] == "not_applicable":
+            row["detail"] = record.get("detail")
+            rows.append(row)
+            continue
+        estimates = point_record_estimates(record)
+        row.update(
+            shots=int(record.get("shots", 0)),
+            batches=int(record.get("batches", 0)),
+            converged=bool(record.get("converged", False)),
+            stop_reason=record.get("stop_reason"),
+            failures=[int(f) for f in record.get("failures", ())],
+            ler=[e.rate for e in estimates],
+            wilson=[list(wilson_interval(e.successes, e.trials)) for e in estimates],
+            plan_summary=dict(record.get("plan_summary", {})),
+        )
+        rows.append(row)
+    return rows
+
+
 def ensure_point(
     store: ResultStore,
     config: SurgeryLerConfig,
@@ -560,6 +699,7 @@ def ensure_point(
     policy_kwargs: tuple = (),
     *,
     decoder: str = "unionfind",
+    backend: str | None = None,
     seed: int = 2025,
     batch_shots: int,
     min_shots: int | None = None,
@@ -587,6 +727,7 @@ def ensure_point(
         t_pp_ns=config.t_pp_ns,
         base_rounds=config.base_rounds,
         decoder=decoder,
+        backend=backend,
         seed=seed,
         batch_shots=batch_shots,
         min_shots=batch_shots if min_shots is None else min_shots,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 __all__ = ["ResultStore", "default_store", "set_default_store"]
@@ -102,6 +103,69 @@ class ResultStore:
         for key in self.keys():
             removed += self.delete(key)
         return removed
+
+    def gc(
+        self,
+        *,
+        older_than_seconds: float,
+        now: float | None = None,
+        dry_run: bool = False,
+    ) -> dict:
+        """Prune records whose last update predates the horizon.
+
+        A record's age comes from its ``updated_at`` stamp (written on every
+        checkpoint) and falls back to the file's mtime for records that
+        never carried one.  Empty per-prefix point directories left behind
+        are removed too.  ``dry_run`` reports what would happen without
+        touching anything.  Returns a summary dict with the scanned/pruned/
+        kept counts, the pruned keys, and the directories removed.
+        """
+        if older_than_seconds < 0:
+            raise ValueError("older_than_seconds must be non-negative")
+        now = time.time() if now is None else now
+        horizon = now - older_than_seconds
+        scanned = 0
+        pruned_keys: list[str] = []
+        for key in self.keys():
+            path = self._path(key)
+            record = self.get(key)
+            if record is None:  # raced with a concurrent delete
+                continue
+            scanned += 1
+            stamp = record.get("updated_at")
+            if stamp is None:
+                try:
+                    stamp = path.stat().st_mtime
+                except OSError:
+                    continue
+            if float(stamp) < horizon:
+                pruned_keys.append(key)
+                if not dry_run:
+                    self.delete(key)
+        pruned_set = {self._path(key).name for key in pruned_keys}
+        dirs_removed = []
+        points = self.root / "points"
+        if points.is_dir():
+            for shard in sorted(points.iterdir()):
+                if not shard.is_dir():
+                    continue
+                # count what a real run would leave behind, so the dry run
+                # also reports directories this gc is about to empty
+                remaining = [p for p in shard.iterdir() if p.name not in pruned_set]
+                if not remaining:
+                    dirs_removed.append(shard.name)
+                    if not dry_run:
+                        shard.rmdir()
+        return {
+            "root": str(self.root),
+            "dry_run": dry_run,
+            "older_than_seconds": older_than_seconds,
+            "scanned": scanned,
+            "pruned": len(pruned_keys),
+            "kept": scanned - len(pruned_keys),
+            "pruned_keys": pruned_keys,
+            "dirs_removed": dirs_removed,
+        }
 
     def summary(self) -> dict:
         """Aggregate store statistics (for ``repro sweep status``)."""

@@ -33,8 +33,11 @@ __all__ = [
 ]
 
 #: bump whenever a sampling/decoding change would alter stored numbers; old
-#: records then simply stop matching and are regenerated on demand
-STORE_SALT = "repro-store-v1"
+#: records then simply stop matching and are regenerated on demand.
+#: v2: the union-find peel forest became canonical (sorted edges, FIFO BFS)
+#: so that batched decode kernels can reproduce it bit-for-bit — a small
+#: fraction of corrections changed to different-but-equal-weight ones.
+STORE_SALT = "repro-store-v2"
 
 
 def _jsonable(value):

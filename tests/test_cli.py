@@ -136,3 +136,104 @@ def test_sweep_run_overrides_spec_fields(capsys, tmp_path, sweep_spec_file):
         == 0
     )
     assert '"shots_decoded": 1600' in capsys.readouterr().out
+
+
+def test_run_decode_backend_flag_applies_and_restores(capsys, tmp_path, monkeypatch):
+    from repro.experiments import ler
+
+    monkeypatch.setitem(ler.DECODE_DEFAULTS, "backend", "auto")
+    seen = {}
+    original = cli.run_driver
+
+    def spy(*args, **kwargs):
+        seen.update(ler.DECODE_DEFAULTS)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(cli, "run_driver", spy)
+    assert cli.main(["run", "fig10", "--out", str(tmp_path), "--decode-backend", "python"]) == 0
+    assert seen["backend"] == "python"
+    assert ler.DECODE_DEFAULTS["backend"] == "auto"  # restored afterwards
+
+
+def test_run_decode_backend_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        cli.main(["run", "fig10", "--decode-backend", "fortran"])
+
+
+def test_sweep_export_writes_benchmark_rows(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    out_file = tmp_path / "rows.json"
+    # exporting before running marks the point missing, decodes nothing
+    assert cli.main(["sweep", "export", str(sweep_spec_file), "--store", str(store)]) == 0
+    assert '"status": "missing"' in capsys.readouterr().out
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)])
+    capsys.readouterr()
+    assert (
+        cli.main(
+            ["sweep", "export", str(sweep_spec_file), "--store", str(store),
+             "--out", str(out_file)]
+        )
+        == 0
+    )
+    rows = json.loads(out_file.read_text())
+    assert len(rows) == 1
+    assert rows[0]["status"] == "ok"
+    assert rows[0]["shots"] == 800
+    assert len(rows[0]["ler"]) == len(rows[0]["failures"]) > 0
+
+
+def test_sweep_gc_dry_run_then_prune(capsys, tmp_path, sweep_spec_file):
+    store_dir = tmp_path / "store"
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store_dir)])
+    capsys.readouterr()
+    from repro.store import ResultStore
+
+    store = ResultStore(store_dir)
+    key = store.keys()[0]
+    store.put(key, dict(store.get(key), updated_at=1.0))  # very stale
+
+    assert cli.main(
+        ["sweep", "gc", "--older-than", "30", "--store", str(store_dir), "--dry-run"]
+    ) == 0
+    assert "would prune 1" in capsys.readouterr().out
+    assert key in store
+
+    assert cli.main(
+        ["sweep", "gc", "--older-than", "30", "--store", str(store_dir)]
+    ) == 0
+    assert "pruned 1" in capsys.readouterr().out
+    assert key not in store
+
+
+def test_sweep_run_decode_backend_override(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    assert (
+        cli.main(
+            ["sweep", "run", str(sweep_spec_file), "--store", str(store),
+             "--decode-backend", "numpy"]
+        )
+        == 0
+    )
+    assert '"shots_decoded": 800' in capsys.readouterr().out
+
+
+def test_sweep_export_seed_override_matches_seeded_run(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store), "--seed", "99"])
+    capsys.readouterr()
+    # without the override the point keys don't match the seeded store
+    assert cli.main(["sweep", "export", str(sweep_spec_file), "--store", str(store)]) == 0
+    assert '"status": "missing"' in capsys.readouterr().out
+    assert cli.main(
+        ["sweep", "export", str(sweep_spec_file), "--store", str(store), "--seed", "99"]
+    ) == 0
+    assert '"status": "ok"' in capsys.readouterr().out
+
+
+def test_sweep_run_decode_backend_unknown_is_clean_error(capsys, tmp_path, sweep_spec_file):
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "s"),
+         "--decode-backend", "fortran"]
+    )
+    assert rc == 2
+    assert "unknown decode backend" in capsys.readouterr().err

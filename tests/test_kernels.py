@@ -1,0 +1,310 @@
+"""Decode-kernel backend tests: registry, selection, and the parity matrix.
+
+The backend contract is *bit-identity*: every registered backend must
+produce exactly the predictions — and exactly the dedup-engine statistics —
+of the ``python`` reference pass, for every decoder, across a small
+``(d, p)`` grid.  The batched union-find kernel is additionally fuzzed on
+random syndrome matrices (where cluster growth and peeling interact far
+more than at physical error rates) and exercised across block boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import memory_experiment
+from repro.codes.repetition import repetition_experiment
+from repro.decoders import (
+    BatchDecodingEngine,
+    LookupTableDecoder,
+    MWPMDecoder,
+    PredecodedDecoder,
+    SyndromeCache,
+    UnionFindDecoder,
+    build_matching_graph,
+    kernels,
+)
+from repro.decoders.hierarchical import HierarchicalDecoder
+from repro.decoders.kernels import (
+    AUTO_ORDER,
+    BatchedUnionFind,
+    KernelBackend,
+    NumbaBackend,
+    NumpyBackend,
+    PythonBackend,
+)
+from repro.noise import GOOGLE, NoiseModel
+from repro.stab import DemSampler, circuit_to_dem
+
+
+def _surface(d, p, shots, rng):
+    noise = NoiseModel(hardware=GOOGLE, p=p, idle_scale=0.0)
+    art = memory_experiment(d, d, noise)
+    dem = circuit_to_dem(art.circuit)
+    graph = build_matching_graph(dem, basis="Z")
+    det, _ = DemSampler(dem).sample(shots, rng=rng)
+    return graph, det
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """Small (d, p) grid shared by the parity matrix."""
+    return {
+        (3, 2e-3): _surface(3, 2e-3, 800, rng=31),
+        (3, 5e-3): _surface(3, 5e-3, 800, rng=32),
+        (5, 1e-3): _surface(5, 1e-3, 800, rng=33),
+    }
+
+
+# ---------------------------------------------------------------------------
+# registry and selection
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_backends_registered():
+    assert {"python", "numpy", "numba"} <= set(kernels.names())
+    assert "python" in kernels.available()
+    assert "numpy" in kernels.available()  # numpy is a hard dependency
+
+
+def test_get_unknown_backend_is_a_clear_error():
+    with pytest.raises(KeyError, match="no-such-backend"):
+        kernels.get("no-such-backend")
+
+
+def test_resolve_explicit_and_auto():
+    assert kernels.resolve("python").name == "python"
+    assert kernels.resolve("numpy").name == "numpy"
+    auto = kernels.resolve("auto")
+    assert auto.name in AUTO_ORDER
+    assert auto.available()
+
+
+def test_resolve_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_DECODE_BACKEND", "python")
+    assert kernels.resolve(None).name == "python"
+    monkeypatch.setenv("REPRO_DECODE_BACKEND", "")
+    assert kernels.resolve(None).available()
+
+
+def test_numba_degrades_silently_to_numpy_when_missing():
+    backend = kernels.get("numba")
+    resolved = kernels.resolve("numba")
+    if backend.available():  # pragma: no cover - numba present
+        assert resolved is backend
+    else:
+        assert resolved.name == "numpy"
+
+
+def test_register_custom_backend_and_replace_guard():
+    class _Null(KernelBackend):
+        name = "test-null"
+
+    kernels.register(_Null())
+    try:
+        assert "test-null" in kernels.names()
+        assert kernels.resolve("test-null").name == "test-null"
+        with pytest.raises(ValueError):
+            kernels.register(_Null())
+        kernels.register(_Null(), replace=True)
+        with pytest.raises(ValueError):
+            kernels.register(KernelBackend())  # empty name
+    finally:
+        kernels._REGISTRY.pop("test-null", None)
+
+
+def test_python_backend_binds_nothing(grid):
+    graph, _ = grid[(3, 2e-3)]
+    assert PythonBackend().bind(UnionFindDecoder(graph)) is None
+
+
+def test_numpy_backend_binds_only_stock_unionfind(grid):
+    graph, _ = grid[(3, 2e-3)]
+    backend = NumpyBackend()
+    dec = UnionFindDecoder(graph)
+    kernel = backend.bind(dec)
+    assert isinstance(kernel, BatchedUnionFind)
+    assert backend.bind(dec) is kernel  # cached per decoder instance
+    assert backend.bind(MWPMDecoder(graph)) is None
+
+    class _Counting(UnionFindDecoder):
+        def decode(self, detectors):
+            return super().decode(detectors)
+
+    # overridden decode paths must keep their scalar pass
+    assert backend.bind(_Counting(graph)) is None
+
+
+def test_numba_backend_jit_flag_degrades(grid):
+    graph, _ = grid[(3, 2e-3)]
+    kernel = NumbaBackend().bind(UnionFindDecoder(graph))
+    assert isinstance(kernel, BatchedUnionFind)
+    try:
+        import numba  # noqa: F401
+
+        assert kernel.jitted  # pragma: no cover - numba present
+    except ImportError:
+        assert not kernel.jitted  # silently fell back to the numpy chase
+
+
+# ---------------------------------------------------------------------------
+# the parity matrix: backend x decoder x (d, p)
+# ---------------------------------------------------------------------------
+
+
+def _build(factory, graph):
+    if factory == "unionfind":
+        return UnionFindDecoder(graph)
+    if factory == "mwpm":
+        return MWPMDecoder(graph)
+    if factory == "predecoder":
+        return PredecodedDecoder(graph, UnionFindDecoder(graph))
+    return HierarchicalDecoder(graph, lut_size_bytes=4096)
+
+
+def _stat_counters(engine):
+    counters = vars(engine.stats).copy()
+    counters.pop("decode_seconds")  # wall time: the only non-deterministic stat
+    return counters
+
+
+@pytest.mark.parametrize("point", [(3, 2e-3), (3, 5e-3), (5, 1e-3)])
+@pytest.mark.parametrize("factory", ["unionfind", "mwpm", "predecoder", "hierarchical"])
+def test_backend_parity_matrix(grid, point, factory):
+    graph, det = grid[point]
+    if factory != "unionfind":
+        if point == (5, 1e-3):
+            pytest.skip("slow decoders run the d=3 slice of the grid")
+        det = det[:400]
+    reference = None
+    ref_counters = None
+    order = ["python"] + [n for n in kernels.names() if n != "python"]
+    for name in order:
+        engine = BatchDecodingEngine(_build(factory, graph), backend=name)
+        predictions = engine.decode_batch(det)
+        counters = _stat_counters(engine)
+        if reference is None:  # the python reference pass comes first
+            reference, ref_counters = predictions, counters
+        else:
+            assert np.array_equal(predictions, reference), (
+                f"backend {name!r} diverged from python for {factory} at {point}"
+            )
+            assert counters == ref_counters, (
+                f"backend {name!r} stats diverged from python for {factory} at {point}"
+            )
+
+
+def test_backend_parity_lut_decoder():
+    noise = NoiseModel(hardware=GOOGLE, p=1e-2)
+    art = repetition_experiment(3, 2, noise)
+    graph = build_matching_graph(circuit_to_dem(art.circuit), basis="Z")
+    det, _ = DemSampler(circuit_to_dem(art.circuit)).sample(500, rng=17)
+    reference = None
+    for name in ["python"] + [n for n in kernels.names() if n != "python"]:
+        engine = BatchDecodingEngine(LookupTableDecoder(graph, max_errors=4), backend=name)
+        predictions = engine.decode_batch(det)
+        if reference is None:
+            reference = predictions
+        else:
+            assert np.array_equal(predictions, reference)
+
+
+def test_backend_parity_with_memo_cache(grid):
+    """Kernel + cache partitions hits/misses exactly like the scalar pass."""
+    graph, det = grid[(3, 5e-3)]
+    batches = [det[:300], det[150:450], det[:300]]
+    engines = {
+        name: BatchDecodingEngine(
+            UnionFindDecoder(graph), cache_size=1 << 14, backend=name
+        )
+        for name in ("python", "numpy")
+    }
+    for batch in batches:
+        out = {n: e.decode_batch(batch) for n, e in engines.items()}
+        assert np.array_equal(out["python"], out["numpy"])
+    assert _stat_counters(engines["python"]) == _stat_counters(engines["numpy"])
+    assert engines["numpy"].stats.cache_hits > 0
+
+
+def test_injected_shared_cache_serves_kernel_path(grid):
+    graph, det = grid[(3, 2e-3)]
+    shared = SyndromeCache(1 << 14)
+    first = BatchDecodingEngine(UnionFindDecoder(graph), cache=shared, backend="numpy")
+    first.decode_batch(det[:400])
+    second = BatchDecodingEngine(UnionFindDecoder(graph), cache=shared, backend="numpy")
+    out = second.decode_batch(det[:400])
+    assert second.stats.cache_misses == 0
+    assert second.stats.decode_calls == 0
+    assert np.array_equal(out, first.decode_batch(det[:400]))
+
+
+# ---------------------------------------------------------------------------
+# the batched union-find kernel itself
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_fuzz_on_random_syndromes(grid):
+    """Random dense syndromes: growth collisions, give-ups, big clusters."""
+    graph, _ = grid[(3, 2e-3)]
+    dec = UnionFindDecoder(graph)
+    kernel = BatchedUnionFind(dec, block_rows=37)  # force odd block splits
+    rng = np.random.default_rng(99)
+    for density in (0.01, 0.05, 0.2, 0.5):
+        det = rng.random((300, graph.num_detectors)) < density
+        reference = np.array(
+            [dec.decode(det[i]) for i in range(det.shape[0])], dtype=np.uint64
+        )
+        assert np.array_equal(kernel.decode_rows(det), reference), density
+
+
+def test_kernel_handles_empty_and_all_zero_input(grid):
+    graph, _ = grid[(3, 2e-3)]
+    kernel = BatchedUnionFind(UnionFindDecoder(graph))
+    empty = kernel.decode_rows(np.zeros((0, graph.num_detectors), dtype=bool))
+    assert empty.shape == (0,)
+    zeros = kernel.decode_rows(np.zeros((5, graph.num_detectors), dtype=bool))
+    assert not zeros.any()
+
+
+def test_kernel_rejects_bad_shapes(grid):
+    graph, _ = grid[(3, 2e-3)]
+    kernel = BatchedUnionFind(UnionFindDecoder(graph))
+    with pytest.raises(ValueError):
+        kernel.decode_rows(np.zeros(graph.num_detectors, dtype=bool))
+    with pytest.raises(ValueError):
+        kernel.decode_rows(np.zeros((3, graph.num_detectors + 1), dtype=bool))
+
+
+def test_kernel_block_boundaries_do_not_change_results(grid):
+    graph, det = grid[(3, 5e-3)]
+    dec = UnionFindDecoder(graph)
+    whole = BatchedUnionFind(dec, block_rows=1 << 20).decode_rows(det[:500])
+    for block in (1, 7, 64, 499, 500):
+        split = BatchedUnionFind(dec, block_rows=block).decode_rows(det[:500])
+        assert np.array_equal(split, whole), block
+
+
+# ---------------------------------------------------------------------------
+# the scalar decoder's reentrancy guard
+# ---------------------------------------------------------------------------
+
+
+def test_unionfind_reentrant_use_raises(grid):
+    graph, det = grid[(3, 2e-3)]
+
+    class _Reentrant(UnionFindDecoder):
+        def _peel(self, defects, solid):
+            # simulate a concurrent/recursive decode on the same instance
+            self.decode(np.ones(self.graph.num_detectors, dtype=bool))
+            return super()._peel(defects, solid)
+
+    dec = _Reentrant(graph)
+    syndrome = det[det.any(axis=1)][0]
+    with pytest.raises(RuntimeError, match="not reentrant"):
+        dec.decode(syndrome)
+    # the guard must reset: a clean decode afterwards works
+    assert UnionFindDecoder(graph).decode(syndrome) == _clean_decode(graph, syndrome)
+    assert dec.decode(np.zeros(graph.num_detectors, dtype=bool)) == 0
+
+
+def _clean_decode(graph, syndrome):
+    return UnionFindDecoder(graph).decode(syndrome)
