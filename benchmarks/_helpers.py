@@ -47,6 +47,28 @@ def record(name: str, data) -> None:
     print(f"\n[{name}] -> {path}")
 
 
+def record_merge(name: str, sections: dict) -> None:
+    """Merge per-section rows into one results JSON.
+
+    Lets several benchmark tests contribute to the same file (e.g.
+    ``decode_backends.json``: one section per decoder path) without the
+    last writer clobbering the others.  A legacy flat layout (a single
+    top-level row) is discarded on first merge.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    merged = {}
+    if path.exists():
+        try:
+            with open(path) as f:
+                merged = json.load(f)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict) or "config" in merged:
+        merged = {}  # legacy flat layout: replaced by per-section rows
+    merged.update(sections)
+    record(name, merged)
+
+
 def _jsonable(obj):
     import numpy as np
 

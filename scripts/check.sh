@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Fast verification gate: the full tier-1 test suite plus the store/sweep
 # tests, the decode-kernel backend parity matrix (tests/test_kernels.py —
-# every backend must stay bit-identical to the python reference pass), and
-# the benchmarks, minus everything tagged @pytest.mark.slow.  Intended to
+# every backend must stay bit-identical to the python reference pass), the
+# cross-decoder contract suite (tests/test_decoder_contract.py — defect-
+# parity preservation, dedup/backend metamorphic identities), and the
+# benchmarks, minus everything tagged @pytest.mark.slow.  Intended to
 # finish in a few minutes on a laptop; CI and pre-merge runs use it as the
-# default check.  Extra pytest arguments pass straight through, e.g.:
+# default check.  --durations=10 keeps the slowest tests visible in CI
+# output so creeping gate time gets noticed.  Extra pytest arguments pass
+# straight through, e.g.:
 #
 #   scripts/check.sh -x                    # stop at the first failure
 #   scripts/check.sh tests/                # fast tests only, skip benchmarks
-#   scripts/check.sh tests/test_kernels.py # backend parity suite only
+#   scripts/check.sh tests/test_kernels.py tests/test_decoder_contract.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-exec python -m pytest -q -m "not slow" "$@"
+exec python -m pytest -q -m "not slow" --durations=10 "$@"

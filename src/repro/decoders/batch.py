@@ -20,10 +20,14 @@ an empty or tiny syndrome, so a 100k-shot batch contains only a few thousand
   syndromes, cache hits, decode calls and wall-clock decode time.
 * decode-kernel **backends** (:mod:`repro.decoders.kernels`) — the distinct-
   syndrome matrix is decoded through a pluggable backend: ``python`` runs
-  the scalar per-syndrome pass, ``numpy`` decodes the whole matrix with a
-  vectorized batched union-find, ``numba`` jits the numpy kernel's
-  primitives when numba is importable.  All backends are bit-identical;
-  selection: ``backend=`` argument > ``REPRO_DECODE_BACKEND`` > ``auto``.
+  the scalar per-syndrome pass, ``numpy`` binds whole-matrix kernels for
+  every stock decoder family (batched union-find, batched predecode with
+  matrix-form residual handoff, the hierarchical LUT row-split, and the
+  shared-Dijkstra MWPM kernel), ``numba`` jits the numpy kernels'
+  primitives when numba is importable.  All backends are bit-identical —
+  including decoder-side statistics such as
+  :class:`~repro.decoders.predecoder.PredecodeStats`; selection:
+  ``backend=`` argument > ``REPRO_DECODE_BACKEND`` > ``auto``.
 
 Decoder subclasses implement ``decode(detectors) -> int`` (an observable
 bitmask, limited to 64 observables by the matching graph) and inherit the
@@ -242,7 +246,11 @@ def decode_batch_dedup(
             "(e.g. pipeline.mask_detectors)"
         )
     if cache is not None and not getattr(decoder, "supports_syndrome_cache", True):
-        cache = None  # cache hits would skip the decoder's per-shot bookkeeping
+        # cache hits would skip the decoder's per-shot bookkeeping (e.g. the
+        # predecoder's multiplicity-weighted offload statistics); dropping
+        # the cache here also routes such decoders onto the plain whole-
+        # matrix kernel path below, never the kernel+cache partition
+        cache = None
     shots = det.shape[0]
     nobs = decoder.graph.num_observables
     decode_one = getattr(decoder, "_decode_one", None) or (

@@ -12,9 +12,17 @@ Built-in backends (see :mod:`.backends`):
 name      strategy
 ========  ==============================================================
 python    the scalar per-syndrome pass, always available (the fallback)
-numpy     vectorized whole-batch union-find (:mod:`.batched_unionfind`)
-numba     numpy kernel with jitted primitives; degrades to ``numpy``
+numpy     vectorized whole-batch kernels (:mod:`.batched_unionfind` for
+          stock union-find; :mod:`.batched_wrappers` for the predecoded,
+          hierarchical and MWPM paths)
+numba     numpy kernels with jitted primitives; degrades to ``numpy``
 ========  ==============================================================
+
+Backends advertise *capability flags* (``KernelBackend.capabilities``: the
+decoder families they can bind — ``unionfind``, ``predecoded``,
+``hierarchical``, ``mwpm``); :func:`capabilities` reports the resolved
+backend's flags so orchestration layers (e.g. sharded LER runs) can record
+which fast paths were live.
 
 Selection precedence, resolved by :func:`resolve`:
 
@@ -40,6 +48,7 @@ import os
 from .backends import NumbaBackend, NumpyBackend, PythonBackend
 from .base import KernelBackend
 from .batched_unionfind import BatchedUnionFind
+from .batched_wrappers import BatchedHierarchical, BatchedMWPM, BatchedPredecode
 
 __all__ = [
     "KernelBackend",
@@ -47,12 +56,16 @@ __all__ = [
     "NumpyBackend",
     "NumbaBackend",
     "BatchedUnionFind",
+    "BatchedPredecode",
+    "BatchedHierarchical",
+    "BatchedMWPM",
     "register",
     "names",
     "available",
     "get",
     "resolve",
     "bind",
+    "capabilities",
     "AUTO_ORDER",
 ]
 
@@ -122,6 +135,16 @@ def resolve(name: str | None = None) -> KernelBackend:
 def bind(decoder, name: str | None = None):
     """Bind ``decoder`` under the resolved backend; None means scalar pass."""
     return resolve(name).bind(decoder)
+
+
+def capabilities(name: str | None = None) -> frozenset:
+    """Capability flags of the *resolved* backend.
+
+    Resolution (env defaults, fallback chains) happens first, so asking for
+    an unavailable backend reports the flags of the backend actually used —
+    which is what orchestration layers stamp into their run records.
+    """
+    return frozenset(resolve(name).capabilities)
 
 
 register(PythonBackend())

@@ -25,6 +25,14 @@ class KernelBackend:
     name: str = ""
     #: backend to degrade to when this one is unavailable (soft dependency)
     fallback: str | None = None
+    #: capability flags: the decoder families this backend can bind a
+    #: whole-matrix kernel for (``unionfind``, ``predecoded``,
+    #: ``hierarchical``, ``mwpm``).  Purely informational — dispatch happens
+    #: in :meth:`bind` — but orchestration layers surface the resolved
+    #: backend's flags (e.g. in ``LerResult.decode_stats``) so sharded runs
+    #: can verify every worker decoded through the same capabilities.  The
+    #: scalar reference backend advertises none.
+    capabilities: frozenset = frozenset()
 
     def available(self) -> bool:
         """Whether this backend's dependencies are importable right now."""

@@ -111,6 +111,31 @@ class LookupTableDecoder(Decoder):
             return False, 0
         return True, entry[1]
 
+    def lookup_batch(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Bulk :meth:`lookup` over a ``(n, num_detectors)`` bool matrix.
+
+        Returns ``(hits, masks)``: a bool hit flag and a ``uint64`` mask per
+        row (``0`` on a miss).  Row ``i``'s pair equals ``lookup(rows[i])``;
+        the hierarchical decoder's batched row-split kernel uses the hit
+        flags to route only the misses to its slow path.
+        """
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=bool))
+        if rows.ndim != 2 or rows.shape[1] != self.graph.num_detectors:
+            raise ValueError(
+                f"expected (n, {self.graph.num_detectors}) detector rows, "
+                f"got shape {rows.shape}"
+            )
+        n = rows.shape[0]
+        hits = np.zeros(n, dtype=bool)
+        masks = np.zeros(n, dtype=np.uint64)
+        get = self.table.get
+        for i in range(n):
+            entry = get(rows[i].tobytes())
+            if entry is not None:
+                hits[i] = True
+                masks[i] = entry[1]
+        return hits, masks
+
     def decode(self, detectors: np.ndarray) -> int:
         """Decode one detector bitstring into an observable-flip bitmask."""
         hit, mask = self.lookup(detectors)

@@ -77,6 +77,17 @@ class MWPMDecoder(Decoder):
         # unreachable pairs (e.g. no boundary edges at all) get a huge but
         # finite weight so blossom never sees infinities
         dist = np.where(np.isinf(dist), 1e12, dist)
+        return self._match_defects(defects, dist, pred)
+
+    def _match_defects(self, defects: np.ndarray, dist: np.ndarray, pred: np.ndarray) -> int:
+        """Exact blossom matching of ``defects`` given shortest-path tables.
+
+        ``dist``/``pred`` hold one single-source Dijkstra row per defect (in
+        ``defects`` order) plus a final boundary-node row.  Each row depends
+        only on its own source, so the batched kernel
+        (:class:`~repro.decoders.kernels.BatchedMWPM`) may assemble them from
+        a shared per-node table and land here bit-identically.
+        """
         k = defects.size
         g = nx.Graph()
         # defect-defect edges

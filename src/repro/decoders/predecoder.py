@@ -251,20 +251,35 @@ class PredecodedDecoder(Decoder):
             self.stats.fully_predecoded_shots += multiplicity
         return mask
 
+    def _accumulate_batch_stats(
+        self, rows: np.ndarray, mult: np.ndarray, removed: np.ndarray,
+        leftover: np.ndarray,
+    ) -> None:
+        """Weight one whole-matrix pass into the offload statistics.
+
+        Shared by :meth:`_decode_rows` and the backend kernel
+        (:class:`~repro.decoders.kernels.BatchedPredecode`) so
+        :class:`PredecodeStats` stays scalar-identical under every path.
+        """
+        self.stats.shots += int(mult.sum())
+        self.stats.defects_total += int((rows.sum(axis=1, dtype=np.int64) * mult).sum())
+        self.stats.defects_removed += int((removed * mult).sum())
+        self.stats.fully_predecoded_shots += int(mult[~leftover].sum())
+
     def _decode_rows(self, rows: np.ndarray, counts) -> np.ndarray:
         """Vectorized dedup path: one local pass over every distinct syndrome.
 
         Statistics stay exact under dedup (weighted by shot multiplicity, as
         in :meth:`_decode_one`); only the rare hard cores that survive the
-        local pass reach the slow decoder, one residual row at a time.
+        local pass reach the slow decoder, one residual row at a time.  The
+        ``numpy`` kernel backend supersedes this hook with
+        :class:`~repro.decoders.kernels.BatchedPredecode`, which keeps the
+        residual rows in matrix form for the inner decoder's kernel.
         """
         mult = np.asarray(counts, dtype=np.int64)
         residuals, masks, removed = self.predecoder.apply_batch(rows)
-        self.stats.shots += int(mult.sum())
-        self.stats.defects_total += int((rows.sum(axis=1, dtype=np.int64) * mult).sum())
-        self.stats.defects_removed += int((removed * mult).sum())
         leftover = residuals.any(axis=1)
-        self.stats.fully_predecoded_shots += int(mult[~leftover].sum())
+        self._accumulate_batch_stats(rows, mult, removed, leftover)
         for i in np.flatnonzero(leftover):
             masks[i] ^= np.uint64(self.slow.decode(residuals[i]))
         return masks

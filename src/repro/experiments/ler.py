@@ -27,7 +27,9 @@ from ..codes.surgery import SurgerySpec, surgery_experiment
 from ..core.policies import SyncScenario, _BasePolicy, policy_fields
 from ..decoders.batch import BatchDecodingEngine
 from ..decoders.graph import MatchingGraph, build_matching_graph
+from ..decoders.hierarchical import HierarchicalDecoder
 from ..decoders.mwpm import MWPMDecoder
+from ..decoders.predecoder import PredecodedDecoder, PredecodeStats
 from ..decoders.unionfind import UnionFindDecoder
 from ..noise.hardware import HardwareConfig
 from ..noise.models import NoiseModel
@@ -45,6 +47,8 @@ __all__ = [
     "pipeline_analysis_count",
     "clear_pipeline_cache",
     "DECODE_DEFAULTS",
+    "DECODER_BUILDERS",
+    "decoder_store_identity",
 ]
 
 #: process-wide LRU cache of analyzed configurations (bounded; see
@@ -76,7 +80,38 @@ DECODE_DEFAULTS: dict = {
     # decode-kernel backend (repro.decoders.kernels): "auto" picks the
     # fastest available; every backend is bit-identical to "python"
     "backend": env_str("REPRO_DECODE_BACKEND", "auto"),
+    # LUT storage budget of the "hierarchical" decoder (bytes)
+    "lut_bytes": env_int("REPRO_DECODE_LUT_BYTES", 1 << 16),
 }
+
+
+#: decoder-name registry used by every pipeline (serial, shard workers,
+#: sweeps): name -> builder(graph).  Names round-trip through SweepTask /
+#: SweepSpec / store records as plain strings, so adding an entry here is
+#: all it takes to open a decoder to the whole orchestration stack.
+DECODER_BUILDERS: dict = {
+    "unionfind": UnionFindDecoder,
+    "mwpm": MWPMDecoder,
+    "predecoded": lambda graph: PredecodedDecoder(graph, UnionFindDecoder(graph)),
+    "hierarchical": lambda graph: HierarchicalDecoder(
+        graph, lut_size_bytes=DECODE_DEFAULTS["lut_bytes"]
+    ),
+}
+
+
+def decoder_store_identity(name: str) -> str:
+    """Store-key identity of a decoder name, resolved at key time.
+
+    Kernel *backends* are bit-identical and deliberately keyless, but
+    decoder *behaviour* knobs are not: the hierarchical decoder's
+    predictions depend on its LUT budget, so the resolved
+    ``REPRO_DECODE_LUT_BYTES`` is folded into the identity — resuming a
+    sweep under a different budget re-decodes from scratch instead of
+    silently appending batches from an effectively different decoder.
+    """
+    if name == "hierarchical":
+        return f"hierarchical[lut_bytes={DECODE_DEFAULTS['lut_bytes']}]"
+    return name
 
 
 @dataclass(frozen=True)
@@ -182,14 +217,20 @@ class _Pipeline:
         self._decoders: dict[str, object] = {}
 
     def decoder(self, name: str):
-        if name not in self._decoders:
-            if name == "unionfind":
-                self._decoders[name] = UnionFindDecoder(self.graph)
-            elif name == "mwpm":
-                self._decoders[name] = MWPMDecoder(self.graph)
-            else:
-                raise ValueError(f"unknown decoder {name!r}")
-        return self._decoders[name]
+        # cached under the *store identity*, not the bare name: a decoder
+        # whose behaviour knob changed (hierarchical LUT budget) must be
+        # rebuilt, or records would land under a key claiming one budget
+        # while decoded with another
+        ident = decoder_store_identity(name)
+        if ident not in self._decoders:
+            builder = DECODER_BUILDERS.get(name)
+            if builder is None:
+                raise ValueError(
+                    f"unknown decoder {name!r}; known: "
+                    f"{', '.join(sorted(DECODER_BUILDERS))}"
+                )
+            self._decoders[ident] = builder(self.graph)
+        return self._decoders[ident]
 
     def mask_detectors(self, det: np.ndarray) -> np.ndarray:
         """Project full-DEM detector samples onto the matching graph's basis.
@@ -357,12 +398,21 @@ def run_surgery_ler(
 
     rng = resolve_rng(rng)
     pipe = pipeline if pipeline is not None else prepared_pipeline(config, policy)
+    decoder_obj = pipe.decoder(decoder)
     engine = BatchDecodingEngine(
-        pipe.decoder(decoder),
+        decoder_obj,
         dedup=dedup,
         cache_size=cache_size,
         cache=syndrome_cache,
         backend=backend,
+    )
+    # predecode offload statistics accumulate on the (cached) decoder across
+    # runs; snapshot them so this result reports only its own delta
+    predecode_stats = getattr(decoder_obj, "stats", None)
+    if not isinstance(predecode_stats, PredecodeStats):
+        predecode_stats = None
+    predecode_before = (
+        vars(predecode_stats).copy() if predecode_stats is not None else None
     )
     nobs = pipe.dem.num_observables
     failures = np.zeros(nobs, dtype=np.int64)
@@ -371,20 +421,28 @@ def run_surgery_ler(
         failures += (_pad_predictions(predictions, nobs) ^ obs).sum(axis=0)
     estimates = [RateEstimate(int(failures[k]), shots) for k in range(nobs)]
     stats = engine.stats
+    from ..decoders import kernels
+
+    decode_stats = {
+        "backend": backend,
+        "backend_capabilities": sorted(kernels.capabilities(backend)),
+        "batches": stats.batches,
+        "distinct_syndromes": stats.distinct_syndromes,
+        "decode_calls": stats.decode_calls,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "dedup_hit_rate": stats.dedup_hit_rate,
+        "decode_seconds": stats.decode_seconds,
+    }
+    if predecode_stats is not None:
+        decode_stats["predecode"] = {
+            k: v - predecode_before[k] for k, v in vars(predecode_stats).items()
+        }
     return LerResult(
         config=config,
         shots=shots,
         estimates=estimates,
         plan_summary=pipe.plan_summary(),
-        decode_stats={
-            "backend": backend,
-            "batches": stats.batches,
-            "distinct_syndromes": stats.distinct_syndromes,
-            "decode_calls": stats.decode_calls,
-            "cache_hits": stats.cache_hits,
-            "cache_misses": stats.cache_misses,
-            "cache_hit_rate": stats.cache_hit_rate,
-            "dedup_hit_rate": stats.dedup_hit_rate,
-            "decode_seconds": stats.decode_seconds,
-        },
+        decode_stats=decode_stats,
     )

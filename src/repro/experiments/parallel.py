@@ -351,11 +351,22 @@ def run_sharded_ler(
     }
     totals["shards"] = len(results)
     totals["backend"] = results[0].decode_stats.get("backend")
+    totals["backend_capabilities"] = results[0].decode_stats.get(
+        "backend_capabilities"
+    )
     totals["dedup_hit_rate"] = (
         1.0 - totals["decode_calls"] / shots if shots else 0.0
     )
     lookups = totals["cache_hits"] + totals["cache_misses"]
     totals["cache_hit_rate"] = totals["cache_hits"] / lookups if lookups else 0.0
+    # predecode offload statistics (present when the decoder wraps a
+    # predecoder) pool like the failure counts: plain sums over shards
+    predecode = [r.decode_stats.get("predecode") for r in results]
+    if any(p is not None for p in predecode):
+        keys = next(p for p in predecode if p is not None).keys()
+        totals["predecode"] = {
+            k: sum(p.get(k, 0) for p in predecode if p is not None) for k in keys
+        }
     return LerResult(
         config=config,
         shots=shots,

@@ -146,6 +146,12 @@ class SweepSpec:
             raise ValueError("max_shots must be positive")
         if self.max_batch_shots is not None and self.max_batch_shots < self.batch_shots:
             raise ValueError("max_batch_shots cannot be below batch_shots")
+        # fail at spec construction, not inside a warmed worker process
+        if self.decoder not in _ler.DECODER_BUILDERS:
+            raise ValueError(
+                f"unknown decoder {self.decoder!r}; known: "
+                f"{', '.join(sorted(_ler.DECODER_BUILDERS))}"
+            )
 
     def resolved_max_batch_shots(self) -> int:
         """The grown-batch cap (defaults to 8x the seed batch size)."""
@@ -221,12 +227,18 @@ class SweepPoint:
     decoder: str = "unionfind"
 
     def key(self, *, seed: int, batch_shots: int) -> str:
-        """Content-addressed store key of this point's result stream."""
+        """Content-addressed store key of this point's result stream.
+
+        The decoder enters via :func:`~repro.experiments.ler.
+        decoder_store_identity`, which folds prediction-affecting decoder
+        knobs (the hierarchical LUT budget) into the key; backends stay
+        keyless because they are bit-identical.
+        """
         return point_key(
             self.config,
             self.policy_name,
             self.policy_kwargs,
-            decoder=self.decoder,
+            decoder=_ler.decoder_store_identity(self.decoder),
             seed=seed,
             batch_shots=batch_shots,
         )

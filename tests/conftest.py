@@ -1,4 +1,13 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Besides the noise-model fixtures, this hosts the decoder-test *fixture
+factory*: cached surface-code ``(graph, detector samples)`` builders over a
+``(d, p)`` grid, DEM/chain matching-graph constructors, dense random
+syndrome generators, and the ordered decode-backend list.  The kernel
+parity matrix (``test_kernels.py``), the cross-decoder contract suite
+(``test_decoder_contract.py``) and the per-decoder test modules all build
+their cases through these factories instead of copy-pasted setup.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +15,112 @@ import numpy as np
 import pytest
 
 from repro.noise import GOOGLE, IBM, NoiseModel
+
+#: the parity matrix's shared (d, p) grid: point -> (shots, sample seed)
+PARITY_GRID_POINTS = {
+    (3, 2e-3): (800, 31),
+    (3, 5e-3): (800, 32),
+    (5, 1e-3): (800, 33),
+}
+
+_SURFACE_CACHE: dict = {}
+
+
+def build_surface_case(
+    d: int, p: float, shots: int, seed: int, *, idle_scale: float = 0.0
+):
+    """Cached ``(graph, det, obs)`` of a (d, p) surface-code memory run.
+
+    One Z-basis matching graph plus ``shots`` sampled detector/observable
+    rows; results are cached per ``(d, p, shots, seed, idle_scale)`` so the
+    expensive circuit analysis runs once per test session.
+    """
+    from repro.codes import memory_experiment
+    from repro.decoders import build_matching_graph
+    from repro.stab import DemSampler, circuit_to_dem
+
+    key = (d, p, shots, seed, idle_scale)
+    if key not in _SURFACE_CACHE:
+        noise = NoiseModel(hardware=GOOGLE, p=p, idle_scale=idle_scale)
+        art = memory_experiment(d, d, noise)
+        dem = circuit_to_dem(art.circuit)
+        graph = build_matching_graph(dem, basis="Z")
+        det, obs = DemSampler(dem).sample(shots, rng=seed)
+        _SURFACE_CACHE[key] = (graph, det, obs)
+    return _SURFACE_CACHE[key]
+
+
+def build_dem_graph(errors, ndet: int, nobs: int = 1):
+    """Matching graph from ``(probability, detectors, observables)`` triples."""
+    from repro.decoders import build_matching_graph
+    from repro.stab.dem import DemError, DetectorErrorModel
+
+    return build_matching_graph(
+        DetectorErrorModel(
+            errors=[DemError(p, tuple(d), tuple(o)) for p, d, o in errors],
+            num_detectors=ndet,
+            num_observables=nobs,
+            detector_coords=[()] * ndet,
+            detector_basis=["Z"] * ndet,
+        )
+    )
+
+
+def build_chain_graph(n: int = 4):
+    """The canonical n-detector chain: boundary edges at both ends, the left
+    one carrying observable 0."""
+    errors = [(0.05, (0,), (0,))]
+    for i in range(n - 1):
+        errors.append((0.05, (i, i + 1), ()))
+    errors.append((0.05, (n - 1,), ()))
+    return build_dem_graph(errors, n, 1)
+
+
+def build_dense_syndromes(graph, n: int, density: float, seed: int) -> np.ndarray:
+    """Seeded ``(n, num_detectors)`` bool matrix of iid defects."""
+    rng = np.random.default_rng(seed)
+    return rng.random((n, graph.num_detectors)) < density
+
+
+@pytest.fixture(scope="session")
+def surface_case():
+    """Factory fixture for :func:`build_surface_case`."""
+    return build_surface_case
+
+
+@pytest.fixture(scope="session")
+def parity_grid():
+    """The backend parity matrix's (d, p) grid: point -> (graph, det)."""
+    return {
+        (d, p): build_surface_case(d, p, shots, seed)[:2]
+        for (d, p), (shots, seed) in PARITY_GRID_POINTS.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def dem_graph():
+    """Factory fixture for :func:`build_dem_graph`."""
+    return build_dem_graph
+
+
+@pytest.fixture(scope="session")
+def chain_graph():
+    """Factory fixture for :func:`build_chain_graph`."""
+    return build_chain_graph
+
+
+@pytest.fixture
+def dense_syndromes():
+    """Factory fixture for :func:`build_dense_syndromes`."""
+    return build_dense_syndromes
+
+
+@pytest.fixture
+def backend_names():
+    """Registered decode-backend names, reference (``python``) first."""
+    from repro.decoders import kernels
+
+    return ["python"] + [n for n in kernels.names() if n != "python"]
 
 
 @pytest.fixture

@@ -1,4 +1,7 @@
-"""Lookup-table and hierarchical decoder tests."""
+"""Lookup-table and hierarchical decoder tests.
+
+Chain graphs come from the shared fixture factory in ``conftest.py``.
+"""
 
 import numpy as np
 import pytest
@@ -7,28 +10,10 @@ from repro.decoders import (
     HierarchicalDecoder,
     LookupTableDecoder,
     MWPMDecoder,
-    build_matching_graph,
     lut_entry_bytes,
     max_entries_for_budget,
     measure_decoder_latencies,
 )
-from repro.stab.dem import DemError, DetectorErrorModel
-
-
-def _chain_graph(n=3):
-    errors = [DemError(0.05, (0,), (0,))]
-    for i in range(n - 1):
-        errors.append(DemError(0.05, (i, i + 1), ()))
-    errors.append(DemError(0.05, (n - 1,), ()))
-    return build_matching_graph(
-        DetectorErrorModel(
-            errors=errors,
-            num_detectors=n,
-            num_observables=1,
-            detector_coords=[()] * n,
-            detector_basis=["Z"] * n,
-        )
-    )
 
 
 def test_entry_size_model():
@@ -37,14 +22,14 @@ def test_entry_size_model():
     assert max_entries_for_budget(1024, 8, 1) == 512
 
 
-def test_lut_contains_trivial_syndrome():
-    lut = LookupTableDecoder(_chain_graph(), max_errors=1)
+def test_lut_contains_trivial_syndrome(chain_graph):
+    lut = LookupTableDecoder(chain_graph(3), max_errors=1)
     hit, mask = lut.lookup(np.zeros(3, dtype=bool))
     assert hit and mask == 0
 
 
-def test_lut_single_errors_exact():
-    g = _chain_graph()
+def test_lut_single_errors_exact(chain_graph):
+    g = chain_graph(3)
     lut = LookupTableDecoder(g, max_errors=1)
     for e in range(g.num_edges):
         syndrome = np.zeros(3, dtype=bool)
@@ -56,8 +41,8 @@ def test_lut_single_errors_exact():
         assert mask == int(g.edge_obs[e])
 
 
-def test_lut_miss_behaviour():
-    lut = LookupTableDecoder(_chain_graph(), max_errors=1)
+def test_lut_miss_behaviour(chain_graph):
+    lut = LookupTableDecoder(chain_graph(3), max_errors=1)
     # weight-2 non-adjacent syndrome is not in a max_errors=1 table
     syndrome = np.array([True, False, True])
     hit, _ = lut.lookup(syndrome)
@@ -66,26 +51,38 @@ def test_lut_miss_behaviour():
         lut.decode(syndrome)
 
 
-def test_lut_prefers_lower_weight_correction():
-    g = _chain_graph()
-    full = LookupTableDecoder(g, max_errors=3)
+def test_lut_lookup_batch_matches_scalar(chain_graph):
+    g = chain_graph(3)
+    lut = LookupTableDecoder(g, max_errors=1)
+    rows = np.array(
+        [[bool(v >> i & 1) for i in range(3)] for v in range(8)], dtype=bool
+    )
+    hits, masks = lut.lookup_batch(rows)
+    for i in range(rows.shape[0]):
+        hit, mask = lut.lookup(rows[i])
+        assert hits[i] == hit
+        assert int(masks[i]) == mask
+    with pytest.raises(ValueError):
+        lut.lookup_batch(rows[:, :2])
+
+
+def test_lut_prefers_lower_weight_correction(chain_graph):
+    full = LookupTableDecoder(chain_graph(3), max_errors=3)
     # syndrome of a single boundary error must decode to that single error
     syndrome = np.array([True, False, False])
     hit, mask = full.lookup(syndrome)
     assert hit and mask == 1
 
 
-def test_entry_budget_truncates_table():
-    g = _chain_graph()
-    small = LookupTableDecoder(g, max_errors=3, max_entries=4)
+def test_entry_budget_truncates_table(chain_graph):
+    small = LookupTableDecoder(chain_graph(3), max_errors=3, max_entries=4)
     assert small.num_entries <= 4
     assert small.size_bytes() <= 4 * lut_entry_bytes(3, 1)
 
 
-def test_hierarchical_hit_and_miss_latencies():
-    g = _chain_graph()
+def test_hierarchical_hit_and_miss_latencies(chain_graph):
     h = HierarchicalDecoder(
-        g,
+        chain_graph(3),
         lut_size_bytes=1024,
         lut_max_errors=1,
         hit_latency_ns=20.0,
@@ -105,8 +102,8 @@ def test_hierarchical_hit_and_miss_latencies():
     assert out.shape == (2, 1)
 
 
-def test_hierarchical_predictions_match_slow_decoder_on_miss():
-    g = _chain_graph()
+def test_hierarchical_predictions_match_slow_decoder_on_miss(chain_graph):
+    g = chain_graph(3)
     slow = MWPMDecoder(g)
     h = HierarchicalDecoder(
         g, lut_size_bytes=8, lut_max_errors=1, miss_latencies_ns=np.array([500.0]),
@@ -118,9 +115,8 @@ def test_hierarchical_predictions_match_slow_decoder_on_miss():
     assert bool(out[0, 0]) == bool(slow.decode(syndrome[0]) & 1)
 
 
-def test_measure_decoder_latencies_positive():
-    g = _chain_graph()
-    dec = MWPMDecoder(g)
+def test_measure_decoder_latencies_positive(chain_graph):
+    dec = MWPMDecoder(chain_graph(3))
     rng = np.random.default_rng(2)
     dets = rng.random((50, 3)) < 0.3
     lat = measure_decoder_latencies(dec, dets, max_samples=20)

@@ -1,34 +1,18 @@
-"""Predecoder tests: locality, accuracy preservation, offload statistics."""
+"""Predecoder tests: locality, accuracy preservation, offload statistics.
+
+Graphs and samples come from the shared fixture factory in ``conftest.py``
+(``chain_graph``, ``surface_case``, ``dense_syndromes``).
+"""
 
 import numpy as np
 import pytest
 
-from repro.codes import memory_experiment
-from repro.decoders import UnionFindDecoder, build_matching_graph
+from repro.decoders import UnionFindDecoder
 from repro.decoders.predecoder import PredecodedDecoder, Predecoder
-from repro.stab import DemSampler, circuit_to_dem
-from repro.stab.dem import DemError, DetectorErrorModel
 
 
-def _chain_graph(n=4):
-    errors = [DemError(0.05, (0,), (0,))]
-    for i in range(n - 1):
-        errors.append(DemError(0.05, (i, i + 1), ()))
-    errors.append(DemError(0.05, (n - 1,), ()))
-    return build_matching_graph(
-        DetectorErrorModel(
-            errors=errors,
-            num_detectors=n,
-            num_observables=1,
-            detector_coords=[()] * n,
-            detector_basis=["Z"] * n,
-        )
-    )
-
-
-def test_isolated_pair_removed():
-    g = _chain_graph()
-    pre = Predecoder(g)
+def test_isolated_pair_removed(chain_graph):
+    pre = Predecoder(chain_graph(4))
     syndrome = np.array([False, True, True, False])
     residual, mask, removed = pre.apply(syndrome)
     assert removed == 2
@@ -36,9 +20,8 @@ def test_isolated_pair_removed():
     assert mask == 0  # interior edge carries no observable
 
 
-def test_lonely_boundary_defect_removed():
-    g = _chain_graph()
-    pre = Predecoder(g)
+def test_lonely_boundary_defect_removed(chain_graph):
+    pre = Predecoder(chain_graph(4))
     syndrome = np.array([True, False, False, False])
     residual, mask, removed = pre.apply(syndrome)
     assert removed == 1
@@ -46,19 +29,15 @@ def test_lonely_boundary_defect_removed():
     assert mask == 1  # the left boundary edge flips the observable
 
 
-def test_ambiguous_cluster_left_for_global_decoder():
-    g = _chain_graph()
-    pre = Predecoder(g)
+def test_ambiguous_cluster_left_for_global_decoder(chain_graph):
+    pre = Predecoder(chain_graph(4))
     syndrome = np.array([True, True, True, False])  # 3 in a row: ambiguous
     residual, mask, removed = pre.apply(syndrome)
     assert residual.sum() >= 1  # something survives for the slow decoder
 
 
-def test_predecoded_matches_plain_decoder_accuracy(quiet_noise):
-    art = memory_experiment(3, 3, quiet_noise)
-    dem = circuit_to_dem(art.circuit)
-    g = build_matching_graph(dem, basis="Z")
-    det, obs = DemSampler(dem).sample(30000, rng=2)
+def test_predecoded_matches_plain_decoder_accuracy(surface_case):
+    g, det, obs = surface_case(3, 1e-3, 30000, 2)
     plain = UnionFindDecoder(g)
     wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
     ler_plain = float((plain.decode_batch(det)[:, :1] ^ obs).mean())
@@ -67,11 +46,8 @@ def test_predecoded_matches_plain_decoder_accuracy(quiet_noise):
     assert ler_wrapped <= max(2.0 * ler_plain, ler_plain + 5e-4)
 
 
-def test_offload_statistics(quiet_noise):
-    art = memory_experiment(3, 3, quiet_noise)
-    dem = circuit_to_dem(art.circuit)
-    g = build_matching_graph(dem, basis="Z")
-    det, _ = DemSampler(dem).sample(5000, rng=3)
+def test_offload_statistics(surface_case):
+    g, det, _ = surface_case(3, 1e-3, 5000, 3)
     wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
     wrapped.decode_batch(det)
     stats = wrapped.stats
@@ -86,9 +62,8 @@ def test_offload_statistics(quiet_noise):
 # ---------------------------------------------------------------------------
 
 
-def test_apply_batch_matches_scalar_on_chain_graph():
-    g = _chain_graph()
-    pre = Predecoder(g)
+def test_apply_batch_matches_scalar_on_chain_graph(chain_graph):
+    pre = Predecoder(chain_graph(4))
     # every syndrome of the 4-detector chain, exhaustively
     rows = np.array(
         [[bool(v >> i & 1) for i in range(4)] for v in range(16)], dtype=bool
@@ -102,12 +77,11 @@ def test_apply_batch_matches_scalar_on_chain_graph():
 
 
 @pytest.mark.parametrize("density", [0.0, 0.02, 0.1, 0.3])
-def test_apply_batch_matches_scalar_on_surface_graph(quiet_noise, density):
-    art = memory_experiment(3, 3, quiet_noise)
-    dem = circuit_to_dem(art.circuit)
-    g = build_matching_graph(dem, basis="Z")
-    rng = np.random.default_rng(int(density * 100))
-    rows = rng.random((300, g.num_detectors)) < density
+def test_apply_batch_matches_scalar_on_surface_graph(
+    surface_case, dense_syndromes, density
+):
+    g, _, _ = surface_case(3, 1e-3, 5000, 3)  # shares the offload test's case
+    rows = dense_syndromes(g, 300, density, seed=int(density * 100))
     pre = Predecoder(g)
     residuals, masks, removed = pre.apply_batch(rows)
     for i in range(rows.shape[0]):
@@ -117,19 +91,16 @@ def test_apply_batch_matches_scalar_on_surface_graph(quiet_noise, density):
         assert removed[i] == rem
 
 
-def test_apply_batch_rejects_bad_shapes():
-    pre = Predecoder(_chain_graph())
+def test_apply_batch_rejects_bad_shapes(chain_graph):
+    pre = Predecoder(chain_graph(4))
     with pytest.raises(ValueError):
         pre.apply_batch(np.zeros(4, dtype=bool))
     with pytest.raises(ValueError):
         pre.apply_batch(np.zeros((2, 5), dtype=bool))
 
 
-def test_predecoded_batch_path_uses_vectorized_pass(quiet_noise, monkeypatch):
-    art = memory_experiment(3, 3, quiet_noise)
-    dem = circuit_to_dem(art.circuit)
-    g = build_matching_graph(dem, basis="Z")
-    det, _ = DemSampler(dem).sample(4000, rng=5)
+def test_predecoded_batch_path_uses_vectorized_pass(surface_case, monkeypatch):
+    g, det, _ = surface_case(3, 1e-3, 4000, 5)
     wrapped = PredecodedDecoder(g, UnionFindDecoder(g))
     calls = {"scalar": 0}
     original = Predecoder.apply

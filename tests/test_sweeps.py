@@ -521,3 +521,83 @@ def test_payload_carries_backend_to_shards(tmp_path):
         cfg, make_policy("passive"), 1000, rng=3, num_shards=4, max_workers=1
     )
     assert [e.successes for e in res.estimates] == [e.successes for e in ref.estimates]
+
+
+def test_sweep_under_missing_backend_produces_identical_records(
+    tmp_path, monkeypatch
+):
+    """Backend degradation must not leak into stored results.
+
+    With the numpy backend monkeypatched away, naming ``numba`` resolves
+    all the way down the fallback chain to ``python`` — and the sweep's
+    stored records must be key-identical and content-identical to a
+    reference sweep pinned to ``python``.
+    """
+    from repro.decoders.kernels import NumpyBackend
+
+    base = _spec(p=5e-3, max_shots=1500)
+    reference = run_sweep(
+        dataclasses.replace(base, backend="python"), ResultStore(tmp_path / "ref")
+    )
+    reset_warm_state()
+    monkeypatch.setattr(NumpyBackend, "available", lambda self: False)
+    degraded = run_sweep(
+        dataclasses.replace(base, backend="numba"), ResultStore(tmp_path / "deg")
+    )
+    for a, b in zip(reference.outcomes, degraded.outcomes):
+        assert a.key == b.key  # backend never reaches the point key
+        assert a.record["failures"] == b.record["failures"]
+        assert a.record["shots"] == b.record["shots"]
+        assert a.record["batches"] == b.record["batches"]
+
+
+def test_sweep_spec_rejects_unknown_decoder():
+    with pytest.raises(ValueError, match="unknown decoder"):
+        _spec(decoder="no-such-decoder")
+
+
+def test_sweep_runs_predecoded_decoder_through_the_store(tmp_path):
+    """The wrapped decoder names round-trip through specs, workers, store."""
+    spec = _spec(decoder="predecoded", p=5e-3, max_shots=1000)
+    first = run_sweep(spec, ResultStore(tmp_path / "s"))
+    record = first.outcomes[0].record
+    assert record["config"]["decoder"] == "predecoded"
+    assert record["shots"] == 1000
+    # a re-run serves entirely from the store, decoding nothing
+    again = run_sweep(spec, ResultStore(tmp_path / "s"))
+    assert again.shots_decoded == 0
+    assert again.outcomes[0].record["failures"] == record["failures"]
+
+
+def test_hierarchical_lut_budget_is_part_of_the_point_key(monkeypatch):
+    """REPRO_DECODE_LUT_BYTES changes predictions, so it must change keys —
+    a resumed sweep under a different budget re-decodes instead of merging
+    batches from an effectively different decoder."""
+    spec = _spec(decoder="hierarchical")
+    pt = spec.points()[0]
+    key_a = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+    monkeypatch.setitem(ler_module.DECODE_DEFAULTS, "lut_bytes", 1024)
+    key_b = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+    assert key_a != key_b
+    # non-parameterized decoders keep their historical keys
+    uf = _spec(decoder="unionfind").points()[0]
+    assert ler_module.decoder_store_identity("unionfind") == "unionfind"
+    assert uf.key(seed=spec.seed, batch_shots=spec.batch_shots) == uf.key(
+        seed=spec.seed, batch_shots=spec.batch_shots
+    )
+
+
+def test_pipeline_decoder_cache_follows_lut_budget(monkeypatch):
+    """The pipeline's decoder cache keys by store identity: changing the
+    LUT budget rebuilds the decoder instead of serving the stale one."""
+    cfg = SurgeryLerConfig(
+        distance=2, hardware=GOOGLE, policy_name="passive", tau_ns=500.0
+    )
+    pipe = ler_module.prepared_pipeline(cfg, make_policy("passive"))
+    monkeypatch.setitem(ler_module.DECODE_DEFAULTS, "lut_bytes", 4096)
+    big = pipe.decoder("hierarchical")
+    assert pipe.decoder("hierarchical") is big  # stable while the knob is
+    monkeypatch.setitem(ler_module.DECODE_DEFAULTS, "lut_bytes", 64)
+    small = pipe.decoder("hierarchical")
+    assert small is not big
+    assert small.lut.size_bytes() <= 64 < big.lut.size_bytes()
