@@ -1,0 +1,135 @@
+"""Speculative sweep scheduler microbenchmark: concurrent vs sequential.
+
+The sequential scheduler runs a sweep's points one at a time and, within a
+point, decodes a round of batches, waits for *all* of them, evaluates the
+stopping rule, then dispatches the next round — the pool idles at every
+round barrier and across every point boundary.  The concurrent scheduler
+(:func:`repro.experiments.sweeps.run_sweep` with ``speculate >= 1``) keeps
+one warm pool saturated: points interleave, and up to ``depth`` batches per
+point decode while the stopping rule is still evaluating earlier ones.
+
+This benchmark runs the same >= 4-point adaptive (``target_rse``) sweep
+through both schedulers at the same worker count, asserts the stored
+records are bit-identical (the tentpole invariant), and records the
+wall-clock comparison in ``benchmarks/results/sweep_speculation.json``.
+
+Timing *ratios are recorded, never asserted* — machine variance is ~±15%
+and CI runners are noisy; the hard gate is parity, the numbers are for the
+humans reading the results directory (docs/CI.md explains the policy).
+
+Scaling knobs: ``REPRO_SPEC_BENCH_SHOTS`` (per batch, default 2000) and
+``REPRO_SPEC_BENCH_WORKERS`` (default 4).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.ler import clear_pipeline_cache
+from repro.experiments.parallel import reset_warm_state
+from repro.experiments.sweeps import (
+    PolicySpec,
+    SweepSpec,
+    record_parity_view,
+    run_sweep,
+)
+from repro.noise import GOOGLE
+from repro.store import ResultStore
+
+from _helpers import bench_seed, record, run_once
+
+pytestmark = pytest.mark.slow
+
+
+def _spec(batch_shots: int) -> SweepSpec:
+    # d=5 batches are decode-bound (dispatch/pickle overhead is negligible
+    # against them), and the d=3/d=5 mix makes point runtimes uneven — which
+    # is exactly where interleaving beats the point-serial scheduler
+    return SweepSpec(
+        name="speculation-bench",
+        distances=(3, 5),
+        taus_ns=(500.0, 1000.0),
+        policies=(PolicySpec("passive"), PolicySpec("active")),
+        hardware=GOOGLE,
+        p=2e-3,
+        seed=bench_seed(),
+        batch_shots=batch_shots,
+        min_shots=batch_shots,
+        max_shots=batch_shots * 8,
+        target_rse=0.1,
+    )
+
+
+def _timed_sweep(spec, store, **kwargs):
+    reset_warm_state()
+    clear_pipeline_cache()
+    t0 = time.perf_counter()
+    report = run_sweep(spec, store, **kwargs)
+    return report, time.perf_counter() - t0
+
+
+def _bench(batch_shots: int, workers: int, depth: int, tmp_root) -> dict:
+    spec = _spec(batch_shots)
+    n_points = len(spec.points())
+    assert n_points >= 4
+
+    serial, serial_s = _timed_sweep(spec, ResultStore(tmp_root / "serial"))
+    sequential, sequential_s = _timed_sweep(
+        spec, ResultStore(tmp_root / "seq"), workers=workers
+    )
+    speculative, speculative_s = _timed_sweep(
+        spec, ResultStore(tmp_root / "spec"), workers=workers, speculate=depth
+    )
+
+    ref = {o.key: o.record for o in serial.outcomes}
+    parity_ok = True
+    for report in (sequential, speculative):
+        for outcome in report.outcomes:
+            parity_ok = parity_ok and record_parity_view(
+                outcome.record
+            ) == record_parity_view(ref[outcome.key])
+
+    return {
+        "config": {
+            "points": n_points,
+            "batch_shots": batch_shots,
+            "max_batches_per_point": 8,
+            "target_rse": spec.target_rse,
+            "workers": workers,
+            "speculate_depth": depth,
+            # pools cannot beat the serial path on a single core; readers
+            # need this to interpret the recorded ratios
+            "cpu_count": os.cpu_count(),
+        },
+        "serial_seconds": serial_s,
+        "sequential_seconds": sequential_s,
+        "speculative_seconds": speculative_s,
+        # recorded, not asserted: see the module docstring / docs/CI.md
+        "speedup": sequential_s / speculative_s if speculative_s > 0 else 0.0,
+        "speedup_vs_serial": serial_s / speculative_s if speculative_s > 0 else 0.0,
+        "shots_decoded": speculative.shots_decoded,
+        "batches_overshoot": speculative.batches_overshoot,
+        "parity_ok": parity_ok,
+    }
+
+
+def test_speculative_scheduler_throughput(benchmark, tmp_path):
+    batch_shots = int(os.environ.get("REPRO_SPEC_BENCH_SHOTS", 2000))
+    workers = int(os.environ.get("REPRO_SPEC_BENCH_WORKERS", 4))
+    row = run_once(benchmark, _bench, batch_shots, workers, workers, tmp_path)
+    print(
+        f"\nserial {row['serial_seconds']:.2f}s   "
+        f"sequential x{row['config']['workers']} workers "
+        f"{row['sequential_seconds']:.2f}s   "
+        f"speculative depth {row['config']['speculate_depth']} "
+        f"{row['speculative_seconds']:.2f}s   "
+        f"speedup {row['speedup']:.2f}x (vs serial "
+        f"{row['speedup_vs_serial']:.2f}x)   "
+        f"overshoot {row['batches_overshoot']} batches"
+    )
+    record("sweep_speculation", row)
+
+    # the hard gate is bit-identity; wall-clock ratios are informational
+    assert row["parity_ok"]
+    assert row["shots_decoded"] > 0

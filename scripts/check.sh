@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Fast verification gate: the full tier-1 test suite plus the store/sweep
-# tests, the decode-kernel backend parity matrix (tests/test_kernels.py —
-# every backend must stay bit-identical to the python reference pass), the
+# tests, the speculative-scheduler parity suite (tests/test_speculation.py
+# — concurrent and sequential schedulers bit-identical for any worker
+# count/depth), the decode-kernel backend parity matrix (tests/test_kernels.py
+# — every backend must stay bit-identical to the python reference pass), the
 # cross-decoder contract suite (tests/test_decoder_contract.py — defect-
 # parity preservation, dedup/backend metamorphic identities), and the
 # benchmarks, minus everything tagged @pytest.mark.slow.  Intended to
-# finish in a few minutes on a laptop; CI and pre-merge runs use it as the
-# default check.  --durations=10 keeps the slowest tests visible in CI
+# finish in a few minutes on a laptop; CI runs exactly this script on every
+# push/PR (.github/workflows/ci.yml; policy in docs/CI.md).  --durations=10 keeps the slowest tests visible in CI
 # output so creeping gate time gets noticed.  Extra pytest arguments pass
 # straight through, e.g.:
 #

@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Schema-check every ``benchmarks/results/*.json`` before it ships.
+
+The benchmark harness regenerates these files and EXPERIMENTS.md reads
+them; a benchmark that crashes halfway or serializes garbage (NaN rates, a
+truncated write, an empty row list) must fail the build instead of silently
+shipping a broken artifact.  CI runs this after the fast test gate (see
+``.github/workflows/ci.yml`` and ``docs/CI.md``).
+
+Checks applied to every file:
+
+* parses as JSON and the top level is a non-empty dict or list;
+* no ``NaN`` / ``Infinity`` / ``-Infinity`` anywhere (``json.dump`` happily
+  emits them; they are invalid JSON and poison downstream plots);
+* every row of a list-shaped file is a non-empty dict;
+* every leaf number is finite (defense in depth against float('inf')
+  sneaking through as a quoted string is *not* attempted — strings pass).
+
+Files this repo's own benchmarks write also get required-key checks
+(``REQUIRED_KEYS``) so a refactor that renames a column fails loudly.
+
+Usage::
+
+    python scripts/validate_results.py            # validate the repo's dir
+    python scripts/validate_results.py DIR        # validate another dir
+
+Exit status 0 = every file valid; 1 = at least one problem (all problems
+are listed, not just the first).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: required top-level keys for result files owned by this repo's harness
+REQUIRED_KEYS = {
+    "decode_throughput.json": {
+        "config",
+        "dedup_shots_per_sec",
+        "speedup_vs_seed_loop",
+    },
+    "decode_backends.json": {"unionfind"},
+    "sweep_resume.json": {
+        "config",
+        "cold_sweep_seconds",
+        "store_rerun_seconds",
+        "rerun_speedup",
+    },
+    "sweep_speculation.json": {
+        "config",
+        "sequential_seconds",
+        "speculative_seconds",
+        "speedup",
+        "parity_ok",
+    },
+}
+
+
+def _reject_constant(token: str):
+    raise ValueError(f"non-finite JSON constant {token!r}")
+
+
+def _walk_finite(node, path: str, problems: list[str]) -> None:
+    if isinstance(node, dict):
+        for k, v in node.items():
+            _walk_finite(v, f"{path}.{k}", problems)
+    elif isinstance(node, (list, tuple)):
+        for i, v in enumerate(node):
+            _walk_finite(v, f"{path}[{i}]", problems)
+    elif isinstance(node, float) and not math.isfinite(node):
+        problems.append(f"non-finite number at {path}")
+
+
+def validate_file(path: Path) -> list[str]:
+    """All problems with one results file (empty list = valid)."""
+    try:
+        with open(path) as f:
+            data = json.load(f, parse_constant=_reject_constant)
+    except ValueError as exc:
+        return [f"invalid JSON: {exc}"]
+
+    problems: list[str] = []
+    if not isinstance(data, (dict, list)):
+        return [f"top level must be a dict or list, got {type(data).__name__}"]
+    if not data:
+        return ["top level is empty"]
+    if isinstance(data, list):
+        for i, row in enumerate(data):
+            if not isinstance(row, dict):
+                problems.append(f"row [{i}] is {type(row).__name__}, not a dict")
+            elif not row:
+                problems.append(f"row [{i}] is empty")
+    missing = REQUIRED_KEYS.get(path.name, set()) - (
+        set(data) if isinstance(data, dict) else set()
+    )
+    if missing:
+        problems.append(f"missing required keys: {', '.join(sorted(missing))}")
+    _walk_finite(data, "$", problems)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    results_dir = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+    )
+    if not results_dir.is_dir():
+        print(f"results directory not found: {results_dir}", file=sys.stderr)
+        return 1
+    files = sorted(results_dir.glob("*.json"))
+    if not files:
+        print(f"no result files under {results_dir}", file=sys.stderr)
+        return 1
+    failed = 0
+    for path in files:
+        problems = validate_file(path)
+        if problems:
+            failed += 1
+            for problem in problems:
+                print(f"FAIL {path.name}: {problem}", file=sys.stderr)
+    print(f"validated {len(files)} result files, {failed} invalid")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

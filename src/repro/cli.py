@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli run fig14 --decode-backend numpy  # vectorized kernel
 
     python -m repro.cli sweep run spec.json --store results/store --resume
+    python -m repro.cli sweep run spec.json --workers 8 --speculate 4
     python -m repro.cli sweep status spec.json --store results/store
     python -m repro.cli sweep export spec.json --store results/store --out rows.json
     python -m repro.cli sweep gc --older-than 30 --store results/store --dry-run
@@ -132,11 +133,23 @@ def _sweep_run(args) -> int:
     store = _resolve_store(args.store)
     # resuming is the default: it is bit-identical to a fresh run and never
     # throws away checkpointed batches; --restart opts into recomputation
+    if args.speculate < 0:
+        print("--speculate must be non-negative", file=sys.stderr)
+        return 2
+    if args.speculate > 0 and args.workers == 1:
+        # results are identical either way, but there is nothing for a lone
+        # worker to overlap with — only dispatch overhead is added
+        print(
+            "note: --speculate with --workers 1 cannot overlap decoding;"
+            " results are identical but wall time may increase",
+            file=sys.stderr,
+        )
     report = run_sweep(
         spec,
         store,
         resume=not args.restart,
         workers=args.workers,
+        speculate=args.speculate,
         progress=lambda msg: print(f"  {msg}"),
     )
     print(json.dumps(report.summary(), indent=2))
@@ -212,6 +225,7 @@ def _sweep_gc(args) -> int:
     verb = "would prune" if args.dry_run else "pruned"
     print(
         f"{verb} {summary['pruned']} of {summary['scanned']} records "
+        f"(+ {summary['batches_pruned']} commit-ahead batch records) "
         f"older than {args.older_than:g} days from {store.root}"
     )
     for key in summary["pruned_keys"]:
@@ -258,6 +272,16 @@ def main(argv=None) -> int:
         " from batch 0; converged points are still served from the store",
     )
     sweep_run.add_argument("--workers", type=int, default=1, metavar="N")
+    sweep_run.add_argument(
+        "--speculate",
+        type=int,
+        default=0,
+        metavar="DEPTH",
+        help="concurrent scheduler: keep up to DEPTH batches per point in"
+        " flight while the stopping rule evaluates earlier ones; points are"
+        " interleaved on one warm pool and results are bit-identical to the"
+        " sequential scheduler (0 = sequential, the default)",
+    )
     sweep_run.add_argument(
         "--target-rse",
         type=float,

@@ -34,9 +34,11 @@ Selection precedence, resolved by :func:`resolve`:
 3. ``auto`` — the fastest available backend (``numba`` > ``numpy`` >
    ``python``).
 
-An unavailable backend degrades silently along its ``fallback`` chain
-(``numba`` -> ``numpy``), so naming a backend whose soft dependency is
-missing still decodes correctly.  Third-party backends (a C extension, a
+An unavailable backend degrades along its ``fallback`` chain (``numba`` ->
+``numpy`` -> ``python``), so naming a backend whose soft dependency is
+missing still decodes correctly; the degradation is announced by a single
+``RuntimeWarning`` per process naming the backend that actually resolved
+(so CI logs show which kernel ran the parity matrix).  Third-party backends (a C extension, a
 GPU kernel, ...) plug in through :func:`register` without touching the
 engine.  Full catalogue and knobs: ``docs/DECODERS.md``.
 """
@@ -44,6 +46,7 @@ engine.  Full catalogue and knobs: ``docs/DECODERS.md``.
 from __future__ import annotations
 
 import os
+import warnings
 
 from .backends import NumbaBackend, NumpyBackend, PythonBackend
 from .base import KernelBackend
@@ -73,6 +76,11 @@ __all__ = [
 AUTO_ORDER = ("numba", "numpy", "python")
 
 _REGISTRY: dict[str, KernelBackend] = {}
+
+#: (requested, resolved) pairs already warned about — fallback degradation
+#: is announced once per process so CI logs show which backend actually ran
+#: without drowning a sweep's worth of resolve() calls in repeats
+_FALLBACK_WARNED: set[tuple[str, str]] = set()
 
 
 def register(backend: KernelBackend, *, replace: bool = False) -> KernelBackend:
@@ -112,7 +120,9 @@ def resolve(name: str | None = None) -> KernelBackend:
 
     ``None`` consults ``REPRO_DECODE_BACKEND`` and then ``auto``; ``auto``
     picks the first available of :data:`AUTO_ORDER`; an explicit but
-    unavailable backend walks its ``fallback`` chain silently.
+    unavailable backend walks its ``fallback`` chain, announcing the
+    degradation with one ``RuntimeWarning`` per process that names the
+    backend actually used (results are bit-identical regardless).
     """
     if name is None:
         name = os.environ.get("REPRO_DECODE_BACKEND") or "auto"
@@ -129,6 +139,17 @@ def resolve(name: str | None = None) -> KernelBackend:
         if backend.name in seen:  # pragma: no cover - defensive
             break
         seen.add(backend.name)
+    if backend.name != name and (name, backend.name) not in _FALLBACK_WARNED:
+        # results are bit-identical either way, so this is informational —
+        # but CI logs must show which backend actually ran the suite
+        _FALLBACK_WARNED.add((name, backend.name))
+        warnings.warn(
+            f"decode backend {name!r} is unavailable (missing dependency); "
+            f"falling back to {backend.name!r} — results are bit-identical, "
+            "only throughput differs",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return backend
 
 

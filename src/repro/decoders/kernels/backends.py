@@ -24,8 +24,9 @@
   decode-path method — fall back to their scalar pass.
 * ``numba`` — the numpy kernels with the union-find pointer chase jitted.
   Soft dependency: when numba is not importable the backend reports
-  unavailable and selection silently degrades to ``numpy`` (results are
-  identical either way).
+  unavailable and selection degrades to ``numpy`` — results are identical
+  either way, and the registry warns once per process naming the backend
+  that actually resolved.
 
 Kernels are cached *on the decoder instance* (one slot per backend name),
 so binding is cheap after the first call and a cached kernel never outlives

@@ -47,6 +47,7 @@ __all__ = [
     "pipeline_analysis_count",
     "clear_pipeline_cache",
     "DECODE_DEFAULTS",
+    "BATCH_STAT_KEYS",
     "DECODER_BUILDERS",
     "decoder_store_identity",
 ]
@@ -69,6 +70,18 @@ def pipeline_analysis_count() -> int:
 #: maximum number of analyzed configurations kept alive at once; consulted on
 #: every :func:`prepared_pipeline` call so tests/sweeps may adjust it
 PIPELINE_CACHE_SIZE: int = env_int("REPRO_PIPELINE_CACHE_SIZE", 32)
+
+#: decode-stat counters that accumulate batch-by-batch into sweep records
+#: and per-batch commit-ahead store entries (see LerResult.batch_stats)
+BATCH_STAT_KEYS = (
+    "batches",
+    "distinct_syndromes",
+    "decode_calls",
+    "cache_hits",
+    "cache_misses",
+    "decode_seconds",
+    "pipeline_analyses",
+)
 
 #: process-wide decode-engine defaults, overridable per call; the CLI's
 #: ``--decode-workers``/``--no-dedup``/``--decode-backend`` flags and the
@@ -155,6 +168,20 @@ class LerResult:
     def observable(self, index: int) -> RateEstimate:
         """The RateEstimate of one observable index."""
         return self.estimates[index]
+
+    def batch_stats(self) -> dict:
+        """JSON-safe accumulable counters of this run (commit-ahead form).
+
+        The subset of ``decode_stats`` that sweep orchestration sums batch
+        by batch into stored point records (:data:`BATCH_STAT_KEYS`), with
+        numpy scalars coerced so the dict serializes as plain JSON.  This is
+        what the speculative scheduler commits to the store per batch.
+        """
+        out = {}
+        for key in BATCH_STAT_KEYS:
+            value = self.decode_stats.get(key, 0)
+            out[key] = float(value) if key == "decode_seconds" else int(value)
+        return out
 
 
 class _Pipeline:

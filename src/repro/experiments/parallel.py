@@ -50,6 +50,7 @@ __all__ = [
     "warm_worker",
     "reset_warm_state",
     "execute_tasks",
+    "submit_task",
     "DEFAULT_NUM_SHARDS",
 ]
 
@@ -187,6 +188,18 @@ def _run_task(task: SweepTask) -> LerResult:
     # from the warm handoff or the in-process pipeline LRU)
     result.decode_stats["pipeline_analyses"] = _ler.PIPELINE_ANALYSES - analyses_before
     return result
+
+
+def submit_task(pool: ProcessPoolExecutor, task: SweepTask):
+    """Dispatch one task on a caller-owned executor, without blocking.
+
+    The non-blocking sibling of :func:`execute_tasks`: returns the
+    ``concurrent.futures.Future`` immediately so a scheduler can keep
+    dispatching (speculative batches, other sweep points) while this task
+    decodes.  The worker warms itself from ``task.payload_blob`` on first
+    contact exactly as on the blocking path.
+    """
+    return pool.submit(_run_task, task)
 
 
 def execute_tasks(pool: ProcessPoolExecutor, tasks: list[SweepTask]) -> list[LerResult]:
@@ -339,15 +352,7 @@ def run_sharded_ler(
     # aggregate shard stats under the same keys the serial path reports
     totals = {
         key: sum(r.decode_stats.get(key, 0) for r in results)
-        for key in (
-            "batches",
-            "distinct_syndromes",
-            "decode_calls",
-            "cache_hits",
-            "cache_misses",
-            "decode_seconds",
-            "pipeline_analyses",
-        )
+        for key in _ler.BATCH_STAT_KEYS
     }
     totals["shards"] = len(results)
     totals["backend"] = results[0].decode_stats.get("backend")

@@ -25,6 +25,17 @@ Consequences:
   improves the tracked RSE by <= 10%, the next batch doubles (capped at
   ``max_batch_shots``), with the deterministic size schedule checkpointed in
   the record so resume and worker counts still cannot change results.
+* **Concurrent / speculative** — with ``run_sweep(..., speculate=depth)``
+  one warm pool is shared by *all* points of the sweep, points are
+  interleaved instead of sequential, and while the stopping rule evaluates
+  batch *k* of a point, batches ``k+1 .. k+depth`` are already decoding.
+  Results are *applied* strictly in batch-index order through the same
+  accumulation path as the sequential scheduler, so estimates and stored
+  records are bit-identical for any worker count and speculation depth;
+  batches that complete after the stopping rule fired are committed to the
+  store's per-batch *commit-ahead log* (deterministic in ``(seed, point
+  key, batch index, size)``) where any later pass — sequential or
+  speculative — replays them instead of decoding again.
 * **Exportable / collectable** — :func:`export_records` (CLI ``repro sweep
   export``) emits stored records in the benchmark-harness JSON row format
   without decoding anything, and ``repro sweep gc --older-than DAYS``
@@ -42,7 +53,7 @@ from __future__ import annotations
 import json
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,7 +63,7 @@ from ..noise.hardware import PRESETS, HardwareConfig
 from ..store import ResultStore, batch_entropy, point_key
 from . import ler as _ler
 from .ler import SurgeryLerConfig
-from .parallel import SweepTask, execute_tasks, run_sweep_parallel
+from .parallel import SweepTask, execute_tasks, run_sweep_parallel, submit_task
 from .stats import RateEstimate, wilson_interval
 
 __all__ = [
@@ -64,19 +75,34 @@ __all__ = [
     "run_sweep",
     "ensure_point",
     "point_record_estimates",
+    "record_parity_view",
     "export_records",
 ]
 
+#: record fields that depend on execution (wall clock, warm-cache state,
+#: worker scheduling) and never on the estimates.  Everything else is
+#: covered by the scheduler bit-identity contract.
+EXECUTION_DEPENDENT_RECORD_FIELDS = ("decode_stats", "updated_at")
+
+
+def record_parity_view(record: dict) -> dict:
+    """A stored record minus its execution-dependent fields.
+
+    This is the view the parity contract quantifies over: sequential,
+    pooled and speculative schedulers must produce *identical* parity views
+    for every point (tests/test_speculation.py and the speculation
+    microbenchmark both compare through this helper).
+    """
+    return {
+        k: v
+        for k, v in record.items()
+        if k not in EXECUTION_DEPENDENT_RECORD_FIELDS
+    }
+
 #: decode-stat counters accumulated batch-by-batch into stored records
-_ACCUM_KEYS = (
-    "batches",
-    "distinct_syndromes",
-    "decode_calls",
-    "cache_hits",
-    "cache_misses",
-    "decode_seconds",
-    "pipeline_analyses",
-)
+#: (shared with the shard aggregation in :mod:`.parallel` and the per-batch
+#: commit-ahead records via :meth:`~repro.experiments.ler.LerResult.batch_stats`)
+_ACCUM_KEYS = _ler.BATCH_STAT_KEYS
 
 
 @dataclass(frozen=True)
@@ -273,6 +299,14 @@ class SweepReport:
     #: full circuit analyses inside pool workers (0 with warm handoff)
     analyses_workers: int = 0
     interrupted: bool = False
+    #: speculation depth this pass ran with (0 = sequential scheduler)
+    speculate: int = 0
+    #: batches served from the commit-ahead log instead of being decoded
+    batches_replayed: int = 0
+    #: batches decoded by this pass but excluded from the estimates (the
+    #: stopping rule fired first, or adaptive sizing grew the plan under
+    #: them); they are committed to the store, not wasted
+    batches_overshoot: int = 0
 
     @property
     def points_from_store(self) -> int:
@@ -301,6 +335,9 @@ class SweepReport:
                 int(r.get("decode_stats", {}).get("cache_misses", 0)) for r in recs
             ),
             "interrupted": self.interrupted,
+            "speculate": self.speculate,
+            "batches_replayed": self.batches_replayed,
+            "batches_overshoot": self.batches_overshoot,
         }
 
 
@@ -385,6 +422,43 @@ class _BatchBudget:
         return self.limit is not None and self.used >= self.limit
 
 
+class _ConcurrentPoint:
+    """Per-point state machine of the concurrent (speculative) scheduler.
+
+    Tracks the gap between what has been *dispatched* for a point and what
+    has been *applied* to its record.  Results are applied strictly in batch
+    index order (the same order the sequential scheduler decodes them), so
+    however futures complete, the record evolves identically.
+    """
+
+    def __init__(self, pt, key, record, payload, blob, committed):
+        self.pt = pt
+        self.key = key
+        self.record = record
+        self.payload = payload
+        self.blob = blob
+        #: indices available in the commit-ahead log (replayable)
+        self.committed = committed
+        #: index -> in-flight Future
+        self.inflight: dict = {}
+        #: index -> shots the batch was dispatched/replayed at (for the
+        #: max_shots projection that bounds speculation)
+        self.sizes: dict = {}
+        #: index -> (batch record, replayed) completed but not yet applied
+        self.pending: dict = {}
+        #: indices discarded at a stale speculative size, to re-dispatch
+        self.redo: set = set()
+        #: next fresh index to dispatch (>= record["batches"])
+        self.next_index = record["batches"]
+        self.new_shots = 0
+        self.new_batches = 0
+        self.finished = False
+
+    @property
+    def unapplied(self) -> int:
+        return len(self.inflight) + len(self.pending)
+
+
 class _SweepRun:
     """Execution state shared across the points of one sweep pass."""
 
@@ -395,16 +469,20 @@ class _SweepRun:
         *,
         resume: bool = True,
         workers: int = 1,
+        speculate: int = 0,
         batch_limit: int | None = None,
         progress=None,
     ):
+        if speculate < 0:
+            raise ValueError("speculate must be non-negative")
         self.spec = spec
         self.store = store
         self.resume = resume
         self.workers = max(1, workers)
+        self.speculate = speculate
         self.budget = _BatchBudget(batch_limit)
         self.progress = progress or (lambda msg: None)
-        self.report = SweepReport(spec=spec)
+        self.report = SweepReport(spec=spec, speculate=speculate)
         #: one pool for the whole run (lazily created): workers warm
         #: themselves per configuration from the tasks' payload blobs, so
         #: pipelines and per-family syndrome caches survive across batches,
@@ -423,6 +501,22 @@ class _SweepRun:
         entropy, spawn_key = batch_entropy(self.spec.seed, key, batch_index)
         return np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
 
+    def _make_task(
+        self, pt: SweepPoint, key: str, payload, blob, index: int, shots: int
+    ) -> SweepTask:
+        """One batch task, seeded purely by ``(spec seed, key, index)``."""
+        return SweepTask(
+            config=pt.config,
+            policy_name=pt.policy_name,
+            policy_kwargs=pt.policy_kwargs,
+            shots=shots,
+            seed=self._batch_seed(key, index),
+            decoder=pt.decoder,
+            backend=self.spec.backend,
+            pipeline_key=payload.key,
+            payload_blob=blob,
+        )
+
     def _run_batches(
         self, payload, blob, pt: SweepPoint, key: str, first_batch: int, n: int,
         batch_shots: int,
@@ -435,19 +529,8 @@ class _SweepRun:
         both modes the per-family :class:`SyndromeCache` persists across
         batches, rounds and points.
         """
-        spec = self.spec
         tasks = [
-            SweepTask(
-                config=pt.config,
-                policy_name=pt.policy_name,
-                policy_kwargs=pt.policy_kwargs,
-                shots=batch_shots,
-                seed=self._batch_seed(key, first_batch + i),
-                decoder=pt.decoder,
-                backend=spec.backend,
-                pipeline_key=payload.key,
-                payload_blob=blob,
-            )
+            self._make_task(pt, key, payload, blob, first_batch + i, batch_shots)
             for i in range(n)
         ]
         if self.workers == 1:
@@ -456,15 +539,22 @@ class _SweepRun:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return execute_tasks(self._pool, tasks)
 
-    # -- per-point orchestration ------------------------------------------
+    # -- shared per-point bookkeeping (sequential and concurrent paths) ----
 
-    def run_point(self, pt: SweepPoint) -> PointOutcome:
+    def _prepare_point(self, pt: SweepPoint):
+        """Load/refresh one point's record and analyze its pipeline.
+
+        Returns ``(key, record, payload, resolved)``; ``resolved`` is True
+        when the point needs no decoding this pass (not applicable, or the
+        stored record already satisfies the current spec) — then ``payload``
+        is None and ``record`` is final.
+        """
         spec = self.spec
         key = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
         record = self.store.get(key)
 
         if record is not None and record.get("status") == "not_applicable":
-            return self._outcome(pt, key, record)
+            return key, record, None, True
 
         if record is not None and not self.resume and not record.get("converged"):
             record = None  # restart partial points unless resuming
@@ -477,7 +567,7 @@ class _SweepRun:
                 if not record.get("converged") or record.get("stop_reason") != reason:
                     record.update(converged=True, stop_reason=reason)
                     self.store.put(key, record)
-                return self._outcome(pt, key, record)
+                return key, record, None, True
             record = dict(record, converged=False, stop_reason=None)
 
         # analyze (or fetch) the pipeline once, in this process
@@ -498,25 +588,147 @@ class _SweepRun:
                 updated_at=time.time(),
             )
             self.store.put(key, record)
-            return self._outcome(pt, key, record)
+            return key, record, None, True
         self.report.analyses_parent += _ler.PIPELINE_ANALYSES - analyses_before
 
-        nobs = payload.dem.num_observables
         if record is None:
-            record = _fresh_record(spec, pt, key, nobs)
+            record = _fresh_record(spec, pt, key, payload.dem.num_observables)
             record["plan_summary"] = dict(payload.plan_summary)
+        return key, record, payload, False
+
+    def _apply_batch(self, record: dict, br: dict, *, replayed: bool) -> None:
+        """Fold one batch record into the point record, in index order.
+
+        This is the *only* way shots enter an estimate on any scheduler
+        path, so sequential, pooled and speculative runs accumulate
+        identically.  ``replayed`` batches came from the commit-ahead log
+        (decoded by an earlier pass), so their worker-side analysis counts
+        don't belong to this invocation.
+        """
+        record["failures"] = [
+            a + int(b) for a, b in zip(record["failures"], br["failures"])
+        ]
+        record["shots"] += int(br["shots"])
+        record["batches"] += 1
+        stats = br.get("decode_stats") or {}
+        for k in _ACCUM_KEYS:
+            record["decode_stats"][k] = record["decode_stats"].get(k, 0) + stats.get(k, 0)
+        if not replayed:
+            self.report.analyses_workers += stats.get("pipeline_analyses", 0)
+        self._update_batch_plan(record)
+
+    def _refresh_stats(self, record: dict) -> None:
+        stats = record["decode_stats"]
+        lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+        stats["cache_hit_rate"] = (
+            stats.get("cache_hits", 0) / lookups if lookups else 0.0
+        )
+
+    def _checkpoint(self, key: str, record: dict) -> None:
+        self._refresh_stats(record)
+        record["updated_at"] = time.time()
+        self.store.put(key, record)
+        self.progress(
+            f"{self.spec.name}: {key[:12]} shots={record['shots']} "
+            f"failures={record['failures']}"
+        )
+
+    def _finalize_point(self, key: str, record: dict, reason: str | None) -> None:
+        """Persist a converged point — the single finish path of BOTH
+        schedulers, so cross-scheduler record parity cannot drift.
+
+        The applied prefix of the commit-ahead log is trimmed (that data
+        now lives in the point record); speculative overshoot is kept for
+        future replays.
+        """
+        self._refresh_stats(record)
+        record.update(converged=True, stop_reason=reason, updated_at=time.time())
+        self.store.put(key, record)
+        self.store.delete_batches(key, below=record["batches"])
+
+    def _committed_batch(self, key: str, index: int, nobs: int) -> dict | None:
+        """A structurally valid commit-ahead batch record, or None.
+
+        Everything :meth:`_apply_batch` will sum must be numeric — a
+        valid-JSON-but-damaged record returns None and is re-decoded, same
+        as a truncated one.  Size validation happens at apply time (the
+        planned size of an index is only known once the prefix below it is
+        applied).
+        """
+
+        def _count(x) -> bool:
+            return isinstance(x, int) and not isinstance(x, bool)
+
+        br = self.store.get_batch(key, index)
+        if not isinstance(br, dict):
+            return None
+        failures = br.get("failures")
+        if not _count(br.get("shots")) or not isinstance(failures, list):
+            return None
+        if len(failures) != nobs or not all(_count(f) for f in failures):
+            return None
+        stats = br.get("decode_stats", {})
+        if not isinstance(stats, dict) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in stats.values()
+        ):
+            return None
+        return br
+
+    def _replayable(self, key: str) -> set:
+        """Commit-ahead indices this pass may replay.
+
+        ``--restart`` (resume=False) means *recompute*: the point's stale
+        batch log is deleted so pre-restart results cannot leak back into
+        the fresh record through a replay.
+        """
+        if not self.resume:
+            self.store.delete_batches(key)
+            return set()
+        return set(self.store.batch_indices(key))
+
+    @staticmethod
+    def _batch_record_of(result) -> dict:
+        """The commit-ahead form of one decoded batch result."""
+        return {
+            "shots": int(result.shots),
+            "failures": [int(e.successes) for e in result.estimates],
+            "decode_stats": result.batch_stats(),
+        }
+
+    # -- per-point orchestration (sequential scheduler) --------------------
+
+    def run_point(self, pt: SweepPoint) -> PointOutcome:
+        spec = self.spec
+        key, record, payload, resolved = self._prepare_point(pt)
+        if resolved:
+            return self._outcome(pt, key, record)
 
         # pickled once per point; reused by every batch task of this point
         blob = pickle.dumps(payload) if self.workers > 1 else None
+        #: batch indices a previous (possibly speculative) pass committed
+        committed = self._replayable(key)
         new_shots = 0
         new_batches = 0
         while True:
             done, reason = _converged(record["failures"], record["shots"], spec)
             if done:
-                record.update(converged=True, stop_reason=reason)
-                self.store.put(key, record)
+                self._finalize_point(key, record, reason)
                 break
             size = self._planned_batch_shots(record)
+            if record["batches"] in committed:
+                # replay an already-decoded batch from the commit-ahead log
+                # (speculative overshoot of an interrupted run) instead of
+                # decoding it again; a size mismatch (adaptive sizing grew
+                # the plan past the old dispatch) falls through to a decode
+                index = record["batches"]
+                committed.discard(index)
+                br = self._committed_batch(key, index, len(record["failures"]))
+                if br is not None and int(br["shots"]) == size:
+                    self._apply_batch(record, br, replayed=True)
+                    self.report.batches_replayed += 1
+                    self._checkpoint(key, record)
+                    continue
             remaining = max(1, -(-(spec.max_shots - record["shots"]) // size))
             want = min(self.workers, remaining)
             allowed = self.budget.take(want)
@@ -539,37 +751,223 @@ class _SweepRun:
                     # size — the applied (index, size) sequence is a pure
                     # function of the prefix, independent of worker count
                     break
-                failures = [e.successes for e in res.estimates]
-                record["failures"] = [
-                    a + b for a, b in zip(record["failures"], failures)
-                ]
-                record["shots"] += res.shots
-                record["batches"] += 1
-                for k in _ACCUM_KEYS:
-                    record["decode_stats"][k] = record["decode_stats"].get(k, 0) + res.decode_stats.get(k, 0)
-                self.report.analyses_workers += res.decode_stats.get(
-                    "pipeline_analyses", 0
-                )
+                self._apply_batch(record, self._batch_record_of(res), replayed=False)
                 new_shots += res.shots
                 new_batches += 1
-                self._update_batch_plan(record)
                 done, _ = _converged(record["failures"], record["shots"], spec)
                 if done:
                     break  # later batches of this round are discarded
-            stats = record["decode_stats"]
-            lookups = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
-            stats["cache_hit_rate"] = (
-                stats.get("cache_hits", 0) / lookups if lookups else 0.0
-            )
-            record["updated_at"] = time.time()
-            self.store.put(key, record)
-            self.progress(
-                f"{spec.name}: {key[:12]} shots={record['shots']} "
-                f"failures={record['failures']}"
-            )
+            self._checkpoint(key, record)
         self.report.shots_decoded += new_shots
         self.report.batches_decoded += new_batches
         return self._outcome(pt, key, record, new_shots=new_shots)
+
+    # -- concurrent scheduler with speculative batch decoding --------------
+
+    def run_concurrent(self, points: list[SweepPoint]) -> None:
+        """Run every point on one shared warm pool, points interleaved.
+
+        The speculative counterpart of the sequential point loop: while the
+        stopping rule is still digesting batch *k* of a point, batches
+        ``k+1 .. k+depth`` of that point (and pending batches of every other
+        point) are already decoding.  Completed batches are committed to the
+        store's per-batch log immediately; they are *applied* to point
+        records strictly in batch-index order through the same
+        :meth:`_apply_batch` / :func:`_converged` path the sequential
+        scheduler uses, so estimates, shot counts and stored records are
+        bit-identical to a sequential run for any worker count and any
+        speculation depth.  Batches that complete after their point's
+        stopping rule fired stay in the log (deterministic in
+        ``(seed, key, index, size)`` — a later resume or tightened
+        ``target_rse`` replays them for free) but never enter the estimate.
+        """
+        depth = max(1, self.speculate)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        queue = list(points)
+        order: list[_ConcurrentPoint] = []  # emission order = sweep order
+        active: list[_ConcurrentPoint] = []
+        futures: dict = {}  # Future -> (state, index)
+
+        while queue or active:
+            # admit points while the pool has headroom (analysis of a later
+            # point overlaps decoding of earlier ones)
+            while (
+                queue
+                and not self.budget.exhausted
+                and len(futures) < self.workers + depth
+                and len(active) < self.workers + depth
+            ):
+                pt = queue.pop(0)
+                key, record, payload, resolved = self._prepare_point(pt)
+                state = _ConcurrentPoint(
+                    pt,
+                    key,
+                    record,
+                    payload,
+                    pickle.dumps(payload) if payload is not None else None,
+                    set() if resolved else self._replayable(key),
+                )
+                order.append(state)
+                if resolved:
+                    state.finished = True
+                    continue
+                active.append(state)
+                self._dispatch_point(state, depth, futures)
+            for state in active:
+                self._dispatch_point(state, depth, futures)
+            if self._drain(active):
+                active = [s for s in active if not s.finished]
+                continue  # applied batches may unlock dispatch (plan growth)
+            if futures:
+                self._await_some(futures)
+                continue
+            if self.budget.exhausted:
+                break  # nothing in flight and no budget to dispatch more
+            if not active:
+                break  # every admitted point resolved straight from the store
+            # no futures, nothing drained, budget available: only reachable
+            # when every active point is blocked, which cannot happen — an
+            # unfinished point always admits at least one dispatch
+            raise RuntimeError(
+                "concurrent sweep scheduler stalled"
+            )  # pragma: no cover
+
+        # drain stray speculative futures of finished points: their results
+        # are committed to the log (nothing wasted), never applied
+        while futures:
+            self._await_some(futures)
+
+        if queue or any(not s.finished for s in active):
+            self.report.interrupted = True
+        for state in active:
+            if not state.finished:  # checkpoint interrupted partial state
+                record = dict(state.record)
+                record["updated_at"] = time.time()
+                self.store.put(state.key, record)
+                state.record = record
+        for state in order:
+            self.report.shots_decoded += state.new_shots
+            self.report.batches_decoded += state.new_batches
+            self._outcome(state.pt, state.key, state.record, new_shots=state.new_shots)
+
+    def _await_some(self, futures: dict) -> None:
+        """Block for at least one in-flight batch and receive all completed."""
+        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        for fut in done:
+            state, index = futures.pop(fut)
+            self._receive(state, index, fut.result())
+
+    def _dispatch_point(self, state: _ConcurrentPoint, depth: int, futures: dict) -> None:
+        """Fill one point's speculation window (replays count for free)."""
+        spec = self.spec
+        record = state.record
+        while not state.finished and state.unapplied < depth:
+            index = min(state.redo) if state.redo else state.next_index
+            # never *speculate* past the shot cap: project the unapplied
+            # batches at the sizes they were dispatched at.  The in-order
+            # batch (the one the record needs next) is exempt — sequential
+            # always decodes at least one batch while unconverged, and
+            # gating it on pending stale-size batches that can never be
+            # applied ahead of it would deadlock the scheduler.
+            if index != record["batches"] and (
+                record["shots"] + sum(state.sizes.values()) >= spec.max_shots
+            ):
+                return
+            if index in state.committed:
+                # serve from the commit-ahead log instead of decoding
+                state.committed.discard(index)
+                br = self._committed_batch(
+                    state.key, index, len(record["failures"])
+                )
+                if br is not None:
+                    state.pending[index] = (br, True)
+                    state.sizes[index] = int(br["shots"])
+                    state.redo.discard(index)
+                    if index == state.next_index:
+                        state.next_index += 1
+                    continue
+            if self.budget.take(1) < 1:
+                return
+            self.budget.spend(1)
+            size = self._planned_batch_shots(record)
+            fut = submit_task(
+                self._pool,
+                self._make_task(
+                    state.pt, state.key, state.payload, state.blob, index, size
+                ),
+            )
+            state.inflight[index] = fut
+            state.sizes[index] = size
+            state.redo.discard(index)
+            futures[fut] = (state, index)
+            if index == state.next_index:
+                state.next_index += 1
+
+    def _receive(self, state: _ConcurrentPoint, index: int, result) -> None:
+        """Commit one completed batch; queue it for in-order application."""
+        br = self._batch_record_of(result)
+        self.store.put_batch(state.key, index, br)
+        state.inflight.pop(index, None)
+        if state.finished:
+            # speculative overshoot: the stopping rule fired while this
+            # batch was decoding; committed above, excluded from estimates
+            state.sizes.pop(index, None)
+            self.report.batches_overshoot += 1
+        else:
+            state.pending[index] = (br, False)
+
+    def _drain(self, active: list[_ConcurrentPoint]) -> bool:
+        """Apply in-order pending batches; finish converged points."""
+        spec = self.spec
+        progressed = False
+        for state in active:
+            if state.finished:
+                continue
+            record = state.record
+            applied = False
+            while True:
+                done, reason = _converged(record["failures"], record["shots"], spec)
+                if done:
+                    self._finalize_point(state.key, record, reason)
+                    for idx, (_, replayed) in state.pending.items():
+                        state.sizes.pop(idx, None)
+                        if not replayed:
+                            self.report.batches_overshoot += 1
+                    state.pending.clear()
+                    state.finished = True
+                    progressed = True
+                    break
+                index = record["batches"]
+                entry = state.pending.pop(index, None)
+                if entry is None:
+                    break  # next batch still in flight (or not dispatched)
+                br, replayed = entry
+                state.sizes.pop(index, None)
+                if int(br["shots"]) != self._planned_batch_shots(record):
+                    # stale speculative size: adaptive sizing grew the plan
+                    # after dispatch — sequential would never decode this
+                    # batch at this size, so discard and redo at the plan.
+                    # The discard IS progress: it frees a depth-window slot
+                    # so the next dispatch pass can re-issue the batch (the
+                    # scheduler would otherwise stall when nothing is in
+                    # flight)
+                    state.redo.add(index)
+                    progressed = True
+                    if not replayed:
+                        self.report.batches_overshoot += 1
+                    continue
+                self._apply_batch(record, br, replayed=replayed)
+                if replayed:
+                    self.report.batches_replayed += 1
+                else:
+                    state.new_shots += int(br["shots"])
+                    state.new_batches += 1
+                applied = True
+                progressed = True
+            if applied and not state.finished:
+                self._checkpoint(state.key, record)
+        return progressed
 
     def _planned_batch_shots(self, record: dict) -> int:
         """The deterministic size of the point's next batch."""
@@ -620,6 +1018,7 @@ def run_sweep(
     *,
     resume: bool = True,
     workers: int = 1,
+    speculate: int = 0,
     batch_limit: int | None = None,
     progress=None,
 ) -> SweepReport:
@@ -628,25 +1027,35 @@ def run_sweep(
     ``resume=False`` discards partial (non-converged) records and recomputes
     them from batch 0 — the result is bit-identical either way, resuming just
     skips the already-decoded prefix.  ``workers`` > 1 decodes batches on a
-    warm process pool.  ``batch_limit`` caps how many *new* batches this
-    invocation decodes (the interruption hook used by tests and the
-    microbenchmark); when the cap is hit the partial state is checkpointed
-    and ``report.interrupted`` is set.
+    warm process pool.  ``speculate`` >= 1 switches to the concurrent
+    scheduler (:meth:`_SweepRun.run_concurrent`): one pool shared by *all*
+    points with up to ``speculate`` batches in flight per point while the
+    stopping rule is still evaluating earlier ones — estimates and stored
+    records stay bit-identical to the sequential scheduler for any
+    ``(workers, speculate)``; completed-but-excluded batches land in the
+    store's commit-ahead log, where later passes replay them for free.
+    ``batch_limit`` caps how many *new* batches this invocation decodes (the
+    interruption hook used by tests and the microbenchmark); when the cap is
+    hit the partial state is checkpointed and ``report.interrupted`` is set.
     """
     run = _SweepRun(
         spec,
         store,
         resume=resume,
         workers=workers,
+        speculate=speculate,
         batch_limit=batch_limit,
         progress=progress,
     )
     try:
-        for pt in spec.points():
-            if run.budget.exhausted:
-                run.report.interrupted = True
-                break
-            run.run_point(pt)
+        if speculate > 0:
+            run.run_concurrent(spec.points())
+        else:
+            for pt in spec.points():
+                if run.budget.exhausted:
+                    run.report.interrupted = True
+                    break
+                run.run_point(pt)
     finally:
         run.close()
     return run.report

@@ -236,4 +236,121 @@ def test_sweep_run_decode_backend_unknown_is_clean_error(capsys, tmp_path, sweep
          "--decode-backend", "fortran"]
     )
     assert rc == 2
-    assert "unknown decode backend" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown decode backend" in err
+    assert "Traceback" not in err  # a clear error, not a crash
+    # nothing was decoded or stored before the rejection
+    assert not (tmp_path / "s").exists()
+
+
+# ---------------------------------------------------------------------------
+# sweep subcommand edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_export_on_missing_store_marks_all_points_missing(
+    capsys, tmp_path, sweep_spec_file
+):
+    # a store directory that was never created: export still exits 0 and
+    # emits one "missing" row per grid point instead of crashing
+    out_file = tmp_path / "rows.json"
+    rc = cli.main(
+        ["sweep", "export", str(sweep_spec_file),
+         "--store", str(tmp_path / "never-created"), "--out", str(out_file)]
+    )
+    assert rc == 0
+    rows = json.loads(out_file.read_text())
+    assert [r["status"] for r in rows] == ["missing"]
+    assert not (tmp_path / "never-created").exists()  # export created nothing
+
+
+def test_sweep_export_partial_store_mixes_ok_and_missing(capsys, tmp_path):
+    spec = {
+        "name": "partial",
+        "hardware": "google",
+        "distances": [2],
+        "taus_ns": [500.0],
+        "policies": ["passive", "active"],
+        "batch_shots": 400,
+        "min_shots": 400,
+        "max_shots": 400,
+        "seed": 17,
+    }
+    narrow = tmp_path / "narrow.json"
+    narrow.write_text(json.dumps(dict(spec, policies=["passive"])))
+    full = tmp_path / "full.json"
+    full.write_text(json.dumps(spec))
+    store = tmp_path / "store"
+    assert cli.main(["sweep", "run", str(narrow), "--store", str(store)]) == 0
+    capsys.readouterr()
+    # exporting the wider spec over the narrower store: decoded point is
+    # "ok" with real rows, the never-run one is "missing" without columns
+    assert cli.main(["sweep", "export", str(full), "--store", str(store)]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    by_policy = {r["policy"]: r for r in rows}
+    assert by_policy["passive"]["status"] == "ok"
+    assert by_policy["passive"]["shots"] == 400
+    assert by_policy["active"]["status"] == "missing"
+    assert "shots" not in by_policy["active"]
+
+
+def test_sweep_gc_dry_run_leaves_mtimes_untouched(capsys, tmp_path, sweep_spec_file):
+    store_dir = tmp_path / "store"
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store_dir)])
+    capsys.readouterr()
+    from repro.store import ResultStore
+
+    store = ResultStore(store_dir)
+    key = store.keys()[0]
+    store.put(key, dict(store.get(key), updated_at=1.0))  # very stale
+    path = store_dir / "points" / key[:2] / f"{key}.json"
+    before = path.stat().st_mtime_ns
+
+    assert cli.main(
+        ["sweep", "gc", "--older-than", "30", "--store", str(store_dir), "--dry-run"]
+    ) == 0
+    assert "would prune 1" in capsys.readouterr().out
+    assert path.stat().st_mtime_ns == before  # dry run read, never wrote
+    assert key in store
+
+
+def test_sweep_run_restart_and_resume_are_mutually_exclusive(
+    capsys, tmp_path, sweep_spec_file
+):
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "s"),
+         "--restart", "--resume"]
+    )
+    assert rc == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_sweep_run_speculate_matches_sequential_records(capsys, tmp_path, sweep_spec_file):
+    from repro.store import ResultStore
+
+    seq_store, spec_store = tmp_path / "seq", tmp_path / "spec"
+    assert cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(seq_store)]
+    ) == 0
+    capsys.readouterr()
+    assert cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(spec_store),
+         "--workers", "2", "--speculate", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert '"speculate": 2' in out
+    a, b = ResultStore(seq_store), ResultStore(spec_store)
+    assert a.keys() == b.keys()
+    for key in a.keys():
+        ra, rb = a.get(key), b.get(key)
+        assert ra["failures"] == rb["failures"]
+        assert ra["shots"] == rb["shots"]
+
+
+def test_sweep_run_rejects_negative_speculate(capsys, tmp_path, sweep_spec_file):
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "s"),
+         "--speculate", "-1"]
+    )
+    assert rc == 2
+    assert "non-negative" in capsys.readouterr().err

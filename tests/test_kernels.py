@@ -217,6 +217,34 @@ def test_fallback_chain_walks_numba_numpy_python(monkeypatch):
     assert kernels.capabilities("numpy") == frozenset()
 
 
+def test_degradation_warns_once_per_process_naming_the_fallback(monkeypatch):
+    """CI logs must show which backend actually ran the parity matrix."""
+    import warnings
+
+    real_import = builtins.__import__
+
+    def no_numba(name, *args, **kwargs):
+        if name == "numba":
+            raise ImportError("numba is not installed")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_numba)
+    monkeypatch.setattr(kernels, "_FALLBACK_WARNED", set())
+    with pytest.warns(RuntimeWarning, match="'numba'.*falling back to 'numpy'"):
+        assert kernels.resolve("numba").name == "numpy"
+    # second resolution of the same degradation is quiet (once per process)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert kernels.resolve("numba").name == "numpy"
+        # available backends and `auto` never warn
+        assert kernels.resolve("auto").name == "numpy"
+        assert kernels.resolve("numpy").name == "numpy"
+    # a *different* degradation pair warns again
+    monkeypatch.setattr(NumpyBackend, "available", lambda self: False)
+    with pytest.warns(RuntimeWarning, match="falling back to 'python'"):
+        assert kernels.resolve("numba").name == "python"
+
+
 def test_degraded_backend_still_decodes_identically(parity_grid, monkeypatch):
     graph, det = parity_grid[(3, 2e-3)]
     reference = BatchDecodingEngine(
