@@ -18,4 +18,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+# static gate first: determinism/contract/salt-drift lint (docs/ANALYSIS.md)
+# fails in seconds, before any test decodes a shot
+python scripts/check_lint.py
 exec python -m pytest -q -m "not slow" --durations=10 "$@"

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""CI gate: ``repro lint`` over the shipped tree must be clean.
+
+Runs the full pinned rule set (``[tool.repro.lint]`` in pyproject.toml)
+against this repo with an *empty baseline* — every determinism, contract
+and salt-drift finding fails the build.  This is the first job CI runs
+(see ``.github/workflows/ci.yml``): a decoder registered without a parity
+test, a ``REPRO_*`` knob missing from the docs, or a decode-path edit
+without its ``STORE_SALT`` bump fails in seconds, before any test decodes
+a shot.
+
+Intentional violations never go through a baseline here; they are
+acknowledged in place with ``# lint: ok[rule] reason`` pragmas so the
+justification lives next to the code (policy in ``docs/ANALYSIS.md``).
+
+Usage::
+
+    python scripts/check_lint.py           # lint this repo
+    python scripts/check_lint.py --json    # machine-readable report
+
+Exit status 0 = clean; 1 = findings (all listed); 2 = lint itself broke.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    from repro.analysis import run_lint
+
+    try:
+        report = run_lint(root=ROOT)
+    except Exception as exc:  # the gate must fail loudly, not crash silently
+        print(f"check_lint: lint run failed: {exc!r}", file=sys.stderr)
+        return 2
+    if "--json" in argv:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(f"FAIL {finding.format()}", file=sys.stderr)
+        print(
+            f"linted {len(report.files)} files with {len(report.rules)} rules: "
+            f"{len(report.findings)} finding(s), "
+            f"{report.suppressed} pragma-suppressed"
+        )
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,8 @@ from .core import (
 from .experiments import LerResult, SurgeryLerConfig, run_surgery_ler
 from .noise import GOOGLE, IBM, QUERA, HardwareConfig, NoiseModel
 
-__version__ = "1.0.0"
+# single source of truth check: tests assert this matches pyproject.toml
+__version__ = "0.6.0"
 
 __all__ = [
     "POLICIES",

@@ -1,0 +1,79 @@
+"""Small AST helpers shared by the rule families.
+
+The rules never import the modules they check — everything is resolved
+statically from the source, so linting cannot execute repo code and works
+on broken/hostile trees.  Name resolution is deliberately shallow: a
+module-level import table maps local names to dotted origins
+(``np`` -> ``numpy``, ``from time import time as now`` -> ``now`` ->
+``time.time``) and call sites resolve their function expression through
+it.  Aliasing through assignments (``f = time.time``) is out of scope —
+the goal is catching the overwhelmingly common spellings, cheaply.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["import_aliases", "dotted_name", "resolve_call", "literal_str", "walk_calls"]
+
+
+def import_aliases(tree: ast.AST) -> dict[str, str]:
+    """Local name -> dotted origin for every import in the module."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call(node: ast.Call, aliases: dict[str, str]) -> str | None:
+    """Dotted origin of a call's function, import aliases applied.
+
+    ``np.random.default_rng()`` resolves to ``numpy.random.default_rng``
+    under ``import numpy as np``; a call through an unknown base name
+    resolves to its literal spelling.
+    """
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head, head)
+    # relative imports keep a leading package path; normalize repro-internal
+    # origins to their module-relative tail so rules can match on it
+    return f"{origin}.{rest}" if rest else origin
+
+
+def literal_str(node: ast.AST) -> str | None:
+    """The value of a string constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def walk_calls(tree: ast.AST):
+    """Every ast.Call in the tree (generator)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

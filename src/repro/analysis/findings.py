@@ -1,0 +1,74 @@
+"""Finding records produced by the static-analysis rules.
+
+A :class:`Finding` is one violation at one source span; the JSON form
+(:meth:`Finding.to_dict`) is both the ``repro lint --format json`` output
+row and the ``--baseline`` file format, so a baseline is literally "the
+findings I am choosing to tolerate" captured from an earlier run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+__all__ = ["Finding", "SEVERITIES", "parse_pragmas", "PRAGMA_RE"]
+
+#: legal severities, strongest first; exit status treats them identically
+#: (any finding fails the gate) — severity is for human triage only
+SEVERITIES = ("error", "warning")
+
+#: inline suppression: ``# lint: ok[rule-name] optional reason`` on the
+#: offending line acknowledges an intentional violation in place, keeping
+#: the intent next to the code instead of in a baseline file
+PRAGMA_RE = re.compile(r"#\s*lint:\s*ok\[([A-Za-z0-9_,\- ]+)\]")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation anchored to a file:line span."""
+
+    path: str  #: repo-relative POSIX path
+    line: int  #: 1-indexed
+    col: int  #: 0-indexed (ast convention)
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        """One-line ``path:line:col: rule [severity] message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON row form (the ``--format json`` / baseline format)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (tolerates missing span fields)."""
+        return cls(
+            path=str(row["path"]),
+            line=int(row.get("line", 0)),
+            col=int(row.get("col", 0)),
+            rule=str(row["rule"]),
+            severity=str(row.get("severity", "error")),
+            message=str(row.get("message", "")),
+        )
+
+    def baseline_key(self) -> tuple:
+        """Identity used by ``--baseline`` matching.
+
+        Line/column are deliberately excluded: a baseline must keep
+        suppressing a known finding when unrelated edits shift it.
+        """
+        return (self.rule, self.path, self.message)
+
+
+def parse_pragmas(source: str) -> dict[int, set]:
+    """Map line number -> rule names suppressed on that line."""
+    pragmas: dict[int, set] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        m = PRAGMA_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            pragmas.setdefault(lineno, set()).update(rules)
+    return pragmas

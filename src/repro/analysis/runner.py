@@ -1,0 +1,116 @@
+"""Lint orchestration: expand paths, run rules, filter, report.
+
+:func:`run_lint` is the single entry point behind both the ``repro lint``
+CLI and the ``scripts/check_lint.py`` CI gate.  It is deliberately free of
+process-global state: every invocation builds a fresh
+:class:`~repro.analysis.base.LintContext`, so tests can lint sandbox
+copies of the repo (mutated decoders, doctored test files) side by side
+with the real tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .base import LintContext, find_root, load_config
+from .findings import Finding
+
+__all__ = ["LintReport", "run_lint"]
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    root: str
+    rules: list
+    files: list
+    findings: list
+    suppressed: int  #: findings silenced by inline pragmas
+    baselined: int  #: findings silenced by the --baseline file
+
+    def to_dict(self) -> dict:
+        """JSON form: counts plus one row per finding."""
+        return {
+            "root": self.root,
+            "rules": list(self.rules),
+            "files": len(self.files),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def _load_baseline(path: Path) -> set:
+    """Baseline keys from a ``--format json`` report (or a bare finding list)."""
+    data = json.loads(Path(path).read_text())
+    rows = data.get("findings", []) if isinstance(data, dict) else data
+    return {Finding.from_dict(row).baseline_key() for row in rows}
+
+
+def run_lint(
+    paths=None,
+    *,
+    root: Path | str | None = None,
+    only=None,
+    baseline: Path | str | None = None,
+    config: dict | None = None,
+) -> LintReport:
+    """Run the registered rules and return a :class:`LintReport`.
+
+    ``paths`` (files/dirs/globs) scope the file rules; repo-scope rules
+    always run against their configured artifacts.  ``only`` restricts to
+    the named rules (unknown names raise ``KeyError`` listing the
+    registry).  ``baseline`` filters findings matching a previous JSON
+    report.  ``config`` overlays the pyproject config key-by-key.
+    """
+    from . import get, names  # registry lives in the package root
+
+    root = Path(root) if root is not None else find_root(
+        Path(paths[0]) if paths else None
+    )
+    ctx = LintContext(root)
+    if config:
+        ctx.config.update(config)
+
+    enabled = ctx.config.get("enable") or names()
+    if only:
+        requested = [only] if isinstance(only, str) else list(only)
+        rules = [get(name) for name in requested]  # KeyError on unknown names
+    else:
+        rules = [get(name) for name in enabled]
+
+    files = ctx.expand_files(paths or ctx.config["paths"])
+
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.scope == "file":
+            for relpath in files:
+                findings.extend(rule.check_file(ctx, relpath))
+        else:
+            findings.extend(rule.check_repo(ctx))
+
+    kept, suppressed = [], 0
+    for f in findings:
+        if ctx.suppressed(f):
+            suppressed += 1
+        else:
+            kept.append(f)
+
+    baselined = 0
+    if baseline is not None:
+        allowed = _load_baseline(Path(baseline))
+        fresh = [f for f in kept if f.baseline_key() not in allowed]
+        baselined = len(kept) - len(fresh)
+        kept = fresh
+
+    return LintReport(
+        root=str(ctx.root),
+        rules=[r.name for r in rules],
+        files=files,
+        findings=sorted(kept),
+        suppressed=suppressed,
+        baselined=baselined,
+    )

@@ -10,6 +10,10 @@ Usage::
     python -m repro.cli run fig14 --no-dedup              # reference decode path
     python -m repro.cli run fig14 --decode-backend numpy  # vectorized kernel
 
+    python -m repro.cli lint                              # determinism/contract lint
+    python -m repro.cli lint --only salt-drift --format json
+    python -m repro.cli lint --update-lock                # bless decode-path edits
+
     python -m repro.cli sweep run spec.json --store results/store --resume
     python -m repro.cli sweep run spec.json --workers 8 --speculate 4
     python -m repro.cli sweep status spec.json --store results/store
@@ -94,6 +98,72 @@ def _jsonable(obj):
     if hasattr(obj, "__dict__"):
         return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
     return str(obj)
+
+
+def _version() -> str:
+    """Package version: installed metadata first, source fallback.
+
+    The metadata path is what a wheel/venv install reports; the fallback
+    serves PYTHONPATH=src checkouts where no distribution is installed.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _lint(args) -> int:
+    from . import analysis
+
+    if args.list_rules:
+        for name in analysis.names():
+            rule = analysis.get(name)
+            print(f"{name:26s} [{rule.severity}/{rule.scope}] {rule.description}")
+        return 0
+    only = None
+    if args.only:
+        only = [name for chunk in args.only for name in chunk.split(",") if name]
+        unknown = [n for n in only if n not in analysis.names()]
+        if unknown:
+            print(
+                f"unknown lint rule(s): {', '.join(unknown)}; registered: "
+                f"{', '.join(analysis.names())}",
+                file=sys.stderr,
+            )
+            return 2
+    root = args.root
+    if args.update_lock:
+        ctx = analysis.LintContext(analysis.find_root(root))
+        written = analysis.update_lock(ctx)
+        print(f"wrote {written}", file=sys.stderr)
+    try:
+        report = analysis.run_lint(
+            args.paths or None, root=root, only=only, baseline=args.baseline
+        )
+    except (OSError, ValueError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for f in report.findings:
+            print(f.format())
+        silenced = ""
+        if report.suppressed or report.baselined:
+            silenced = (
+                f" ({report.suppressed} pragma-suppressed,"
+                f" {report.baselined} baselined)"
+            )
+        print(
+            f"lint: {len(report.findings)} finding(s) from {len(report.rules)} "
+            f"rule(s) over {len(report.files)} file(s){silenced}",
+            file=sys.stderr,
+        )
+    return 1 if report.findings else 0
 
 
 def _resolve_store(path):
@@ -249,8 +319,44 @@ def _sweep_clear(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available drivers")
+
+    lintp = sub.add_parser(
+        "lint",
+        help="static determinism/contract analysis of the decode path"
+        " (docs/ANALYSIS.md)",
+    )
+    lintp.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/dirs to lint (default: the [tool.repro.lint] paths;"
+        " repo-scope contract rules always run)",
+    )
+    lintp.add_argument(
+        "--only", action="append", metavar="RULE",
+        help="run only these rules (repeatable, comma-separable)",
+    )
+    lintp.add_argument("--format", choices=("text", "json"), default="text")
+    lintp.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="suppress findings recorded in this JSON report"
+        " (produce one with --format json)",
+    )
+    lintp.add_argument(
+        "--update-lock", action="store_true",
+        help="rewrite the decode-path digest lock from the current tree"
+        " before linting (the intentional-STORE_SALT-bump workflow)",
+    )
+    lintp.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root override (default: nearest pyproject.toml)",
+    )
+    lintp.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
 
     sweepp = sub.add_parser(
         "sweep", help="resumable store-backed sweeps (docs/SWEEPS.md)"
@@ -368,6 +474,9 @@ def main(argv=None) -> int:
     if args.command == "list":
         list_drivers()
         return 0
+
+    if args.command == "lint":
+        return _lint(args)
 
     if args.command == "sweep":
         if args.sweep_command == "run":

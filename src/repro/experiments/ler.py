@@ -188,7 +188,9 @@ class _Pipeline:
     """Cached circuit analysis: matching graph + sampler + decoder."""
 
     def __init__(self, config: SurgeryLerConfig, policy: _BasePolicy):
-        global PIPELINE_ANALYSES
+        # deliberate per-process counter: workers report it as a per-task
+        # delta (decode_stats["pipeline_analyses"]), never as shared truth
+        global PIPELINE_ANALYSES  # lint: ok[contract-worker-globals]
         PIPELINE_ANALYSES += 1
         noise = NoiseModel(hardware=config.hardware, p=config.p)
         scenario = SyncScenario(

@@ -85,6 +85,15 @@ __all__ = [
 EXECUTION_DEPENDENT_RECORD_FIELDS = ("decode_stats", "updated_at")
 
 
+def _wallclock() -> float:
+    """Record-metadata timestamp (``updated_at``): checkpoint freshness for
+    humans and ``sweep gc``.  Explicitly execution-dependent
+    (:data:`EXECUTION_DEPENDENT_RECORD_FIELDS`) — never part of keys,
+    estimates or any stored number the parity contract covers.
+    """
+    return time.time()  # lint: ok[determinism-time] metadata timestamp only
+
+
 def record_parity_view(record: dict) -> dict:
     """A stored record minus its execution-dependent fields.
 
@@ -585,7 +594,7 @@ class _SweepRun:
                 converged=True,
                 stop_reason="not_applicable",
                 detail=str(exc),
-                updated_at=time.time(),
+                updated_at=_wallclock(),
             )
             self.store.put(key, record)
             return key, record, None, True
@@ -626,7 +635,7 @@ class _SweepRun:
 
     def _checkpoint(self, key: str, record: dict) -> None:
         self._refresh_stats(record)
-        record["updated_at"] = time.time()
+        record["updated_at"] = _wallclock()
         self.store.put(key, record)
         self.progress(
             f"{self.spec.name}: {key[:12]} shots={record['shots']} "
@@ -642,7 +651,7 @@ class _SweepRun:
         future replays.
         """
         self._refresh_stats(record)
-        record.update(converged=True, stop_reason=reason, updated_at=time.time())
+        record.update(converged=True, stop_reason=reason, updated_at=_wallclock())
         self.store.put(key, record)
         self.store.delete_batches(key, below=record["batches"])
 
@@ -734,7 +743,7 @@ class _SweepRun:
             allowed = self.budget.take(want)
             if allowed == 0:
                 self.report.interrupted = True
-                record.update(updated_at=time.time())
+                record.update(updated_at=_wallclock())
                 self.store.put(key, record)
                 break
             results = self._run_batches(
@@ -843,7 +852,7 @@ class _SweepRun:
         for state in active:
             if not state.finished:  # checkpoint interrupted partial state
                 record = dict(state.record)
-                record["updated_at"] = time.time()
+                record["updated_at"] = _wallclock()
                 self.store.put(state.key, record)
                 state.record = record
         for state in order:

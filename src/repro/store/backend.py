@@ -221,7 +221,9 @@ class ResultStore:
         """
         if older_than_seconds < 0:
             raise ValueError("older_than_seconds must be non-negative")
-        now = time.time() if now is None else now
+        # gc horizons are wall-clock by definition (record age on disk);
+        # nothing here feeds keys or stored numbers
+        now = time.time() if now is None else now  # lint: ok[determinism-time]
         horizon = now - older_than_seconds
         scanned = 0
         batches_pruned = 0

@@ -1,0 +1,28 @@
+"""Negative fixture for the kernel-backend registry contract rule.
+
+Pointed at via the ``backends_module`` config override in tests; never
+imported.  ``GoodTerminal`` is the legal chain terminal; the other three
+each violate one leg of the availability/fallback protocol.
+"""
+
+from repro.decoders.kernels.base import KernelBackend
+
+
+class GoodTerminal(KernelBackend):
+    name = "python"
+
+
+class MissingAvailable(KernelBackend):  # HIT contract-backend-registry
+    name = "cext"
+    fallback = "python"
+
+
+class MissingFallback(KernelBackend):  # HIT contract-backend-registry
+    name = "gpu"
+
+    def available(self):
+        return False
+
+
+class NoName(KernelBackend):  # HIT contract-backend-registry
+    fallback = "python"

@@ -1,0 +1,48 @@
+"""Positive fixture: deterministic spellings of the same operations.
+
+Linting this file with the full determinism/hygiene family must produce
+zero findings — monotonic timers, seeded generators, sorted set
+iteration, membership tests, documented ``REPRO_*`` knobs and a
+pragma-acknowledged wall-clock read are all allowed.
+"""
+
+import os
+import time
+
+import numpy as np
+
+
+def duration(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def seeded_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def spawned(seed, n):
+    return np.random.SeedSequence(seed).spawn(n)
+
+
+def ordered(values):
+    return [v for v in sorted(set(values))]
+
+
+def membership(values, x):
+    return x in set(values)
+
+
+def env_knob():
+    return os.environ.get("REPRO_EXAMPLE_KNOB", "0")
+
+
+def acknowledged_metadata_stamp():
+    return time.time()  # lint: ok[determinism-time] fixture: metadata only
+
+
+def safe_default(x, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(x)
+    return acc

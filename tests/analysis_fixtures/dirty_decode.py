@@ -1,0 +1,69 @@
+"""Negative fixture for the determinism/hygiene lint rules.
+
+Never imported — only parsed by ``repro.analysis`` in tests.  Every
+violating line carries a ``# HIT <rule>`` marker; the test derives the
+expected (rule, line) set from these markers, so the fixture can be
+edited without renumbering assertions.
+"""
+
+import os
+import random
+import secrets
+import time
+import uuid
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # HIT determinism-time
+
+
+def stamp_dt():
+    return datetime.now()  # HIT determinism-time
+
+
+def fresh_rng():
+    return np.random.default_rng()  # HIT determinism-rng
+
+
+def global_draws():
+    random.shuffle([1, 2])  # HIT determinism-rng
+    return np.random.rand(3)  # HIT determinism-rng
+
+
+def entropy():
+    os.urandom(8)  # HIT determinism-entropy
+    secrets.token_hex(4)  # HIT determinism-entropy
+    return uuid.uuid4()  # HIT determinism-entropy
+
+
+def key_of(obj):
+    return id(obj)  # HIT determinism-id
+
+
+def unordered(values):
+    out = []
+    for v in set(values):  # HIT determinism-set-order
+        out.append(v)
+    return out + list({1, 2, 3})  # HIT determinism-set-order
+
+
+def env_reads():
+    a = os.environ.get("HOME")  # HIT determinism-env
+    b = os.getenv("PATH")  # HIT determinism-env
+    c = os.environ["SHELL"]  # HIT determinism-env
+    return a, b, c
+
+
+def mutable_default(x, acc=[]):  # HIT hygiene-mutable-default
+    acc.append(x)
+    return acc
+
+
+def swallow():
+    try:
+        return 1
+    except:  # HIT hygiene-bare-except
+        return 2

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.casestudies",
     "repro.experiments",
+    "repro.analysis",
 ]
 
 

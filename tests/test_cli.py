@@ -1,6 +1,7 @@
 """CLI smoke tests."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -354,3 +355,47 @@ def test_sweep_run_rejects_negative_speculate(capsys, tmp_path, sweep_spec_file)
     )
     assert rc == 2
     assert "non-negative" in capsys.readouterr().err
+
+
+def test_version_flag_reports_package_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["--version"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    import repro
+
+    assert out.strip().endswith(repro.__version__)
+
+
+def test_version_matches_pyproject():
+    import tomllib
+
+    import repro
+
+    pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+    with open(pyproject, "rb") as f:
+        assert tomllib.load(f)["project"]["version"] == repro.__version__
+
+
+def test_lint_help_exits_clean(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["lint", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--only", "--format", "--baseline", "--update-lock"):
+        assert flag in out
+
+
+def test_lint_unknown_rule_is_usage_error(capsys):
+    assert cli.main(["lint", "--only", "no-such-rule", "src/repro"]) == 2
+    err = capsys.readouterr().err
+    assert "no-such-rule" in err and "determinism-time" in err
+
+
+def test_lint_list_rules_prints_catalogue(capsys):
+    assert cli.main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    from repro import analysis
+
+    for name in analysis.names():
+        assert name in out

@@ -267,7 +267,7 @@ def _build(factory, graph):
         return UnionFindDecoder(graph)
     if factory == "mwpm":
         return MWPMDecoder(graph)
-    if factory == "predecoder":
+    if factory == "predecoded":
         return PredecodedDecoder(graph, UnionFindDecoder(graph))
     return HierarchicalDecoder(graph, lut_size_bytes=4096)
 
@@ -279,7 +279,7 @@ def _stat_counters(engine):
 
 
 @pytest.mark.parametrize("point", [(3, 2e-3), (3, 5e-3), (5, 1e-3)])
-@pytest.mark.parametrize("factory", ["unionfind", "mwpm", "predecoder", "hierarchical"])
+@pytest.mark.parametrize("factory", ["unionfind", "mwpm", "predecoded", "hierarchical"])
 def test_backend_parity_matrix(parity_grid, backend_names, point, factory):
     graph, det = parity_grid[point]
     if factory != "unionfind":
@@ -290,7 +290,7 @@ def test_backend_parity_matrix(parity_grid, backend_names, point, factory):
         engine = BatchDecodingEngine(decoder, backend=name)
         predictions = engine.decode_batch(det)
         counters = _stat_counters(engine)
-        predecode = vars(decoder.stats).copy() if factory == "predecoder" else None
+        predecode = vars(decoder.stats).copy() if factory == "predecoded" else None
         if reference is None:  # the python reference pass comes first
             reference, ref_counters, ref_predecode = predictions, counters, predecode
         else:

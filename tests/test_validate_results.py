@@ -1,0 +1,91 @@
+"""Exit-code tests for ``scripts/validate_results.py``.
+
+The validator is the last gate before benchmark artifacts ship; these
+tests pin its contract: clean directory -> 0, any corruption (NaN,
+truncated JSON, empty payloads, missing required keys, missing dir) -> 1,
+with every problem listed on stderr.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "validate_results", REPO / "scripts" / "validate_results.py"
+)
+validate_results = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(validate_results)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "custom_rows.json").write_text(
+        json.dumps([{"d": 3, "p": 1e-3, "ler": 2.5e-4}, {"d": 5, "p": 1e-3, "ler": 1.1e-5}])
+    )
+    return d
+
+
+def test_clean_directory_exits_zero(results_dir, capsys):
+    assert validate_results.main([str(results_dir)]) == 0
+    assert "0 invalid" in capsys.readouterr().out
+
+
+def test_repo_results_directory_is_valid():
+    shipped = REPO / "benchmarks" / "results"
+    if not shipped.is_dir():
+        pytest.skip("repo ships no benchmark results")
+    assert validate_results.main([str(shipped)]) == 0
+
+
+def test_nan_rate_exits_nonzero(results_dir, capsys):
+    # json.dump happily writes NaN; the validator must reject it
+    (results_dir / "bad_nan.json").write_text('{"config": {}, "ler": NaN}')
+    assert validate_results.main([str(results_dir)]) == 1
+    assert "bad_nan.json" in capsys.readouterr().err
+
+
+def test_truncated_json_exits_nonzero(results_dir, capsys):
+    (results_dir / "truncated.json").write_text('{"config": {"d": 3}, "rows": [')
+    assert validate_results.main([str(results_dir)]) == 1
+    assert "invalid JSON" in capsys.readouterr().err
+
+
+def test_empty_payload_exits_nonzero(results_dir, capsys):
+    (results_dir / "empty_list.json").write_text("[]")
+    (results_dir / "empty_row.json").write_text("[{}]")
+    assert validate_results.main([str(results_dir)]) == 1
+    err = capsys.readouterr().err
+    assert "empty_list.json" in err and "empty_row.json" in err
+
+
+def test_missing_required_keys_exits_nonzero(results_dir, capsys):
+    # a file the repo's harness owns must carry its schema keys
+    (results_dir / "decode_backends.json").write_text('{"mwpm": {}}')
+    assert validate_results.main([str(results_dir)]) == 1
+    assert "unionfind" in capsys.readouterr().err
+
+
+def test_missing_directory_exits_nonzero(tmp_path, capsys):
+    assert validate_results.main([str(tmp_path / "nope")]) == 1
+    assert "not found" in capsys.readouterr().err
+
+
+def test_empty_directory_exits_nonzero(tmp_path, capsys):
+    empty = tmp_path / "results"
+    empty.mkdir()
+    assert validate_results.main([str(empty)]) == 1
+    assert "no result files" in capsys.readouterr().err
+
+
+def test_all_problems_listed_not_just_first(results_dir, capsys):
+    (results_dir / "a_bad.json").write_text('{"x": Infinity}')
+    (results_dir / "z_bad.json").write_text("[]")
+    assert validate_results.main([str(results_dir)]) == 1
+    err = capsys.readouterr().err
+    assert "a_bad.json" in err and "z_bad.json" in err
