@@ -26,6 +26,7 @@ import time
 
 import pytest
 
+from repro import obs
 from repro.experiments.ler import clear_pipeline_cache
 from repro.experiments.parallel import reset_warm_state
 from repro.experiments.sweeps import (
@@ -78,9 +79,19 @@ def _bench(batch_shots: int, workers: int, depth: int, tmp_root) -> dict:
     sequential, sequential_s = _timed_sweep(
         spec, ResultStore(tmp_root / "seq"), workers=workers
     )
-    speculative, speculative_s = _timed_sweep(
-        spec, ResultStore(tmp_root / "spec"), workers=workers, speculate=depth
-    )
+    # the speculative run records obs spans (no trace/metrics files — just
+    # the in-memory recorder) so the result row can say where the time went:
+    # dispatch vs apply vs pool idle (docs/OBSERVABILITY.md).  Tracing is
+    # bit-neutral, so the parity gate below still compares against the
+    # untraced serial reference.
+    obs.configure()
+    try:
+        speculative, speculative_s = _timed_sweep(
+            spec, ResultStore(tmp_root / "spec"), workers=workers, speculate=depth
+        )
+        phases = obs.phase_totals()
+    finally:
+        obs.reset()
 
     ref = {o.key: o.record for o in serial.outcomes}
     parity_ok = True
@@ -111,6 +122,10 @@ def _bench(batch_shots: int, workers: int, depth: int, tmp_root) -> dict:
         "shots_decoded": speculative.shots_decoded,
         "batches_overshoot": speculative.batches_overshoot,
         "parity_ok": parity_ok,
+        # per-span-kind totals of the speculative run (count/total_s/mean_us/
+        # p50/p95/p99): sweep.dispatch vs sweep.apply vs sweep.idle is the
+        # scheduler-regression triage breakdown
+        "phases": phases,
     }
 
 
@@ -128,8 +143,18 @@ def test_speculative_scheduler_throughput(benchmark, tmp_path):
         f"{row['speedup_vs_serial']:.2f}x)   "
         f"overshoot {row['batches_overshoot']} batches"
     )
+    idle = row["phases"].get("sweep.idle", {}).get("total_s", 0.0)
+    dispatch = row["phases"].get("sweep.dispatch", {}).get("total_s", 0.0)
+    apply_s = row["phases"].get("sweep.apply", {}).get("total_s", 0.0)
+    print(
+        f"phases: dispatch {dispatch:.3f}s   apply {apply_s:.3f}s   "
+        f"idle {idle:.3f}s"
+    )
     record("sweep_speculation", row)
 
     # the hard gate is bit-identity; wall-clock ratios are informational
     assert row["parity_ok"]
     assert row["shots_decoded"] > 0
+    # the span recorder must have seen the scheduler at work (totals are
+    # informational, presence is not)
+    assert row["phases"].get("sweep.dispatch", {}).get("count", 0) > 0

@@ -21,4 +21,27 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # static gate first: determinism/contract/salt-drift lint (docs/ANALYSIS.md)
 # fails in seconds, before any test decodes a shot
 python scripts/check_lint.py
+# observability smoke (docs/OBSERVABILITY.md): emit a tiny trace + metrics
+# pair through the real recorder, schema-check both artifacts, and make
+# sure `repro trace summarize` can read what `write_trace` wrote
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+python - "$OBS_TMP" <<'EOF'
+import sys
+from repro import obs
+
+tmp = sys.argv[1]
+obs.configure(trace_path=f"{tmp}/t.json", metrics_path=f"{tmp}/m.json")
+with obs.span("decode.kernel", lambda: {"rows": 1}):
+    pass
+obs.count("sweep.batches_dispatched")
+obs.write_trace()
+obs.write_metrics()
+obs.reset()
+EOF
+python scripts/validate_results.py --trace "$OBS_TMP/t.json" --metrics "$OBS_TMP/m.json"
+python -m repro.cli trace summarize "$OBS_TMP/t.json" > /dev/null
+echo "obs smoke: trace summarize + schema validation ok"
+rm -rf "$OBS_TMP"
+trap - EXIT  # exec below skips EXIT traps; the tmpdir is already gone
 exec python -m pytest -q -m "not slow" --durations=10 "$@"

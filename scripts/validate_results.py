@@ -19,10 +19,16 @@ Checks applied to every file:
 Files this repo's own benchmarks write also get required-key checks
 (``REQUIRED_KEYS``) so a refactor that renames a column fails loudly.
 
+Observability artifacts (docs/OBSERVABILITY.md) are validated on demand:
+``--trace FILE`` checks a ``repro.obs.trace/v1`` Chrome trace and
+``--metrics FILE`` a ``repro.obs.metrics/v1`` snapshot (both repeatable;
+``scripts/check.sh`` runs them against a freshly generated pair).
+
 Usage::
 
     python scripts/validate_results.py            # validate the repo's dir
     python scripts/validate_results.py DIR        # validate another dir
+    python scripts/validate_results.py --trace t.json --metrics m.json
 
 Exit status 0 = every file valid; 1 = at least one problem (all problems
 are listed, not just the first).
@@ -55,8 +61,106 @@ REQUIRED_KEYS = {
         "speculative_seconds",
         "speedup",
         "parity_ok",
+        "phases",
     },
 }
+
+#: schema tags the repro.obs exporters stamp into their artifacts
+TRACE_SCHEMA = "repro.obs.trace/v1"
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+
+
+def _load_json(path: Path):
+    with open(path) as f:
+        return json.load(f, parse_constant=_reject_constant)
+
+
+def validate_trace_file(path: Path) -> list[str]:
+    """All problems with one ``repro.obs.trace/v1`` Chrome trace file."""
+    try:
+        data = _load_json(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return [f"top level must be a dict, got {type(data).__name__}"]
+    problems: list[str] = []
+    if data.get("schema") != TRACE_SCHEMA:
+        problems.append(f"schema is {data.get('schema')!r}, expected {TRACE_SCHEMA!r}")
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        problems.append("traceEvents must be a non-empty list")
+        events = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"traceEvents[{i}] is not a dict")
+            continue
+        missing = {"name", "ph", "ts", "pid"} - set(ev)
+        if missing:
+            problems.append(
+                f"traceEvents[{i}] missing keys: {', '.join(sorted(missing))}"
+            )
+            continue
+        if ev["ph"] not in ("X", "i"):
+            problems.append(f"traceEvents[{i}] has unknown phase {ev['ph']!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            problems.append(f"traceEvents[{i}] is a complete event without dur")
+        if isinstance(ev["ts"], (int, float)) and ev["ts"] < 0:
+            problems.append(f"traceEvents[{i}] has negative ts")
+    _walk_finite(data, "$", problems)
+    return problems
+
+
+def validate_metrics_file(path: Path) -> list[str]:
+    """All problems with one ``repro.obs.metrics/v1`` snapshot file."""
+    try:
+        data = _load_json(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return [f"top level must be a dict, got {type(data).__name__}"]
+    problems: list[str] = []
+    if data.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema is {data.get('schema')!r}, expected {METRICS_SCHEMA!r}")
+    counters = data.get("counters")
+    if not isinstance(counters, dict):
+        problems.append("counters must be a dict")
+    else:
+        for name, value in counters.items():
+            if not isinstance(value, int) or value < 0:
+                problems.append(f"counter {name!r} must be a non-negative integer")
+    hists = data.get("histograms")
+    if not isinstance(hists, dict):
+        problems.append("histograms must be a dict")
+        hists = {}
+    for name, hist in hists.items():
+        if not isinstance(hist, dict):
+            problems.append(f"histogram {name!r} is not a dict")
+            continue
+        missing = {"bucket_bounds_ns", "counts", "count", "sum_ns"} - set(hist)
+        if missing:
+            problems.append(
+                f"histogram {name!r} missing keys: {', '.join(sorted(missing))}"
+            )
+            continue
+        bounds, counts = hist["bucket_bounds_ns"], hist["counts"]
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            problems.append(f"histogram {name!r} bounds/counts must be lists")
+            continue
+        # counts has one overflow bucket past the last bound
+        if len(counts) != len(bounds) + 1:
+            problems.append(
+                f"histogram {name!r} has {len(counts)} counts for "
+                f"{len(bounds)} bounds (want bounds+1)"
+            )
+        if any(not isinstance(c, int) or c < 0 for c in counts):
+            problems.append(f"histogram {name!r} counts must be non-negative ints")
+        elif sum(counts) != hist["count"]:
+            problems.append(
+                f"histogram {name!r} count {hist['count']} != sum of bucket "
+                f"counts {sum(counts)}"
+            )
+    _walk_finite(data, "$", problems)
+    return problems
 
 
 def _reject_constant(token: str):
@@ -103,10 +207,38 @@ def validate_file(path: Path) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    # observability artifacts named explicitly (repeatable flags)
+    checks: list[tuple[Path, object]] = []
+    positional: list[str] = []
+    i = 0
+    while i < len(argv):
+        if argv[i] in ("--trace", "--metrics"):
+            if i + 1 >= len(argv):
+                print(f"{argv[i]} requires a FILE argument", file=sys.stderr)
+                return 1
+            kind = validate_trace_file if argv[i] == "--trace" else validate_metrics_file
+            checks.append((Path(argv[i + 1]), kind))
+            i += 2
+        else:
+            positional.append(argv[i])
+            i += 1
+
+    failed = 0
+    checked = 0
+    for path, check in checks:
+        checked += 1
+        for problem in check(path):
+            failed += 1
+            print(f"FAIL {path.name}: {problem}", file=sys.stderr)
+    if checks and not positional:
+        print(f"validated {checked} observability files, {failed} problems")
+        return 1 if failed else 0
+
     results_dir = (
-        Path(argv[0])
-        if argv
+        Path(positional[0])
+        if positional
         else Path(__file__).resolve().parent.parent / "benchmarks" / "results"
     )
     if not results_dir.is_dir():
@@ -116,15 +248,15 @@ def main(argv: list[str] | None = None) -> int:
     if not files:
         print(f"no result files under {results_dir}", file=sys.stderr)
         return 1
-    failed = 0
+    invalid = 0
     for path in files:
         problems = validate_file(path)
         if problems:
-            failed += 1
+            invalid += 1
             for problem in problems:
                 print(f"FAIL {path.name}: {problem}", file=sys.stderr)
-    print(f"validated {len(files)} result files, {failed} invalid")
-    return 1 if failed else 0
+    print(f"validated {len(files)} result files, {invalid} invalid")
+    return 1 if invalid or failed else 0
 
 
 if __name__ == "__main__":

@@ -214,31 +214,61 @@ def _sweep_run(args) -> int:
             " results are identical but wall time may increase",
             file=sys.stderr,
         )
-    report = run_sweep(
-        spec,
-        store,
-        resume=not args.restart,
-        workers=args.workers,
-        speculate=args.speculate,
-        progress=lambda msg: print(f"  {msg}"),
-    )
-    print(json.dumps(report.summary(), indent=2))
-    for outcome in report.outcomes:
-        rec = outcome.record
-        cfg = rec.get("config", {})
-        if rec.get("status") == "not_applicable":
+    # observability: --trace/--metrics-out activate the repro.obs recorder
+    # for this run (docs/OBSERVABILITY.md); the env knobs are the flagless
+    # spelling and how spawn-started pool workers self-activate.  Tracing
+    # never changes predictions or stored records (tested bit-identity).
+    trace_path = args.trace or os.environ.get("REPRO_TRACE") or None
+    metrics_path = args.metrics_out or os.environ.get("REPRO_METRICS") or None
+    tracing = bool(trace_path or metrics_path)
+    saved_env = {k: os.environ.get(k) for k in ("REPRO_TRACE", "REPRO_METRICS")}
+    if tracing:
+        from . import obs
+
+        obs.configure(trace_path=trace_path, metrics_path=metrics_path)
+        if trace_path:
+            os.environ["REPRO_TRACE"] = str(trace_path)
+        if metrics_path:
+            os.environ["REPRO_METRICS"] = str(metrics_path)
+    try:
+        report = run_sweep(
+            spec,
+            store,
+            resume=not args.restart,
+            workers=args.workers,
+            speculate=args.speculate,
+            progress=lambda msg: print(f"  {msg}"),
+        )
+        print(json.dumps(report.summary(), indent=2))
+        for outcome in report.outcomes:
+            rec = outcome.record
+            cfg = rec.get("config", {})
+            if rec.get("status") == "not_applicable":
+                print(
+                    f"  d={cfg.get('distance')} tau={cfg.get('tau_ns')} "
+                    f"{cfg.get('policy')}: not applicable"
+                )
+                continue
+            rates = [f"{e.rate:.3e}" for e in outcome.estimates]
+            src = "store" if outcome.new_shots == 0 else f"+{outcome.new_shots} shots"
             print(
                 f"  d={cfg.get('distance')} tau={cfg.get('tau_ns')} "
-                f"{cfg.get('policy')}: not applicable"
+                f"{cfg.get('policy')}: shots={rec['shots']} ler={rates} [{src}]"
             )
-            continue
-        rates = [f"{e.rate:.3e}" for e in outcome.estimates]
-        src = "store" if outcome.new_shots == 0 else f"+{outcome.new_shots} shots"
-        print(
-            f"  d={cfg.get('distance')} tau={cfg.get('tau_ns')} "
-            f"{cfg.get('policy')}: shots={rec['shots']} ler={rates} [{src}]"
-        )
-    return 0
+        if tracing:
+            if trace_path:
+                print(f"wrote trace {obs.write_trace()}")
+            if metrics_path:
+                print(f"wrote metrics {obs.write_metrics()}")
+        return 0
+    finally:
+        if tracing:
+            obs.reset()
+            for k, v in saved_env.items():
+                if v is None:
+                    os.environ.pop(k, None)
+                else:
+                    os.environ[k] = v
 
 
 def _sweep_status(args) -> int:
@@ -263,6 +293,36 @@ def _sweep_status(args) -> int:
                 f"  {cfg}: {state} shots={rec['shots']} batches={rec['batches']} "
                 f"failures={rec['failures']}"
             )
+            if args.verbose:
+                # read-only performance view of the committed record: the
+                # accumulated decode-engine counters, no decoding triggered
+                ds = rec.get("decode_stats") or {}
+                secs = float(ds.get("decode_seconds", 0) or 0)
+                shots = int(rec.get("shots", 0))
+                lookups = int(ds.get("cache_hits", 0)) + int(ds.get("cache_misses", 0))
+                hit_rate = int(ds.get("cache_hits", 0)) / lookups if lookups else 0.0
+                throughput = shots / secs if secs > 0 else 0.0
+                print(
+                    f"      decode_s={secs:.3f} "
+                    f"decode_calls={int(ds.get('decode_calls', 0))} "
+                    f"cache_hit_rate={hit_rate:.1%} "
+                    f"shots_per_s={throughput:,.0f}"
+                )
+    return 0
+
+
+def _trace_summarize(args) -> int:
+    from . import obs
+
+    try:
+        rows = obs.summarize_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot summarize {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+    else:
+        print(obs.format_summary(rows))
     return 0
 
 
@@ -403,9 +463,34 @@ def main(argv=None) -> int:
         help="decode-kernel backend for this sweep (python/numpy/numba/auto);"
         " bit-identical across backends, so stored records are unaffected",
     )
+    sweep_run.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace-event JSON of this run's pipeline spans"
+        " (load in chrome://tracing or ui.perfetto.dev; REPRO_TRACE is the"
+        " env spelling; docs/OBSERVABILITY.md).  Tracing never changes"
+        " predictions or stored records",
+    )
+    sweep_run.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a repro.obs.metrics/v1 snapshot (counters + merged"
+        " worker-count-independent latency histograms; REPRO_METRICS is"
+        " the env spelling)",
+    )
     sweep_status = sweep_sub.add_parser("status", help="inspect a store / spec")
     sweep_status.add_argument("spec", nargs="?", type=Path, default=None)
     sweep_status.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_status.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report stored per-point decode time, decode calls, cache"
+        " hit rate and shots/s from the committed records (read-only)",
+    )
     sweep_export = sweep_sub.add_parser(
         "export",
         help="emit a sweep's stored records in the benchmark-harness JSON"
@@ -436,6 +521,19 @@ def main(argv=None) -> int:
     sweep_clear = sweep_sub.add_parser("clear", help="delete every stored record")
     sweep_clear.add_argument("--store", type=Path, default=None, metavar="DIR")
     sweep_clear.add_argument("--yes", action="store_true")
+
+    tracep = sub.add_parser(
+        "trace",
+        help="observability trace utilities (docs/OBSERVABILITY.md)",
+    )
+    trace_sub = tracep.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-span-kind phase breakdown (count, total, p50/p95/p99) of a"
+        " trace file written by `sweep run --trace`",
+    )
+    trace_summarize.add_argument("file", type=Path, help="Chrome trace JSON file")
+    trace_summarize.add_argument("--format", choices=("text", "json"), default="text")
 
     runp = sub.add_parser("run", help="run one driver (or 'all')")
     runp.add_argument("figure", help="driver key from 'list', or 'all'")
@@ -488,6 +586,9 @@ def main(argv=None) -> int:
         if args.sweep_command == "gc":
             return _sweep_gc(args)
         return _sweep_clear(args)
+
+    if args.command == "trace":
+        return _trace_summarize(args)
 
     # route the decode-engine knobs to every driver via the process defaults,
     # restoring them afterwards so repeated in-process invocations don't

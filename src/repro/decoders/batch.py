@@ -38,12 +38,12 @@ duplicate multiplicity (e.g. the predecoder's offload statistics) overrides
 
 from __future__ import annotations
 
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._util import pack_bits, unpack_bits
 
 __all__ = [
@@ -264,17 +264,19 @@ def decode_batch_dedup(
 
     if not dedup:
         masks = np.zeros(shots, dtype=np.uint64)
-        for s in range(shots):
-            masks[s] = decode_one(det[s], 1)
+        with obs.span("decode.kernel", lambda: {"rows": shots, "path": "per-shot"}):
+            for s in range(shots):
+                masks[s] = decode_one(det[s], 1)
         if stats is not None:
             stats.distinct_syndromes += shots
             stats.decode_calls += shots
         return expand_obs_masks(masks, nobs)
 
-    packed = pack_bits(det)
-    uniq, inverse = _unique_rows(packed)
-    counts = np.bincount(inverse, minlength=uniq.shape[0]).tolist()
-    rows = unpack_bits(uniq, det.shape[1])
+    with obs.span("decode.dedup", lambda: {"shots": shots}):
+        packed = pack_bits(det)
+        uniq, inverse = _unique_rows(packed)
+        counts = np.bincount(inverse, minlength=uniq.shape[0]).tolist()
+        rows = unpack_bits(uniq, det.shape[1])
     from . import kernels  # deferred: kernels imports decoder classes
 
     decode_rows = kernels.bind(decoder, backend)
@@ -289,15 +291,19 @@ def decode_batch_dedup(
         n = uniq.shape[0]
         row_masks = np.zeros(n, dtype=np.uint64)
         miss = []
-        for i in range(n):
-            hit, mask = cache.get(uniq[i].tobytes())
-            if hit:
-                row_masks[i] = mask
-            else:
-                miss.append(i)
+        with obs.span("decode.cache", lambda: {"rows": n}):
+            for i in range(n):
+                hit, mask = cache.get(uniq[i].tobytes())
+                if hit:
+                    row_masks[i] = mask
+                else:
+                    miss.append(i)
         if miss:
-            decoded = np.asarray(decode_rows(rows[miss], [counts[i] for i in miss]),
-                                 dtype=np.uint64)
+            with obs.span("decode.kernel", lambda: {"rows": len(miss)}):
+                decoded = np.asarray(
+                    decode_rows(rows[miss], [counts[i] for i in miss]),
+                    dtype=np.uint64,
+                )
             row_masks[miss] = decoded
             for j, i in enumerate(miss):
                 cache.put(uniq[i].tobytes(), int(decoded[j]))
@@ -311,7 +317,8 @@ def decode_batch_dedup(
         # whole-matrix fast path (a backend kernel, or the decoder's own
         # ``_decode_rows`` hook such as the vectorized predecoder): one call
         # for every distinct syndrome, no per-row python dispatch
-        row_masks = decode_rows(rows, counts)
+        with obs.span("decode.kernel", lambda: {"rows": int(uniq.shape[0])}):
+            row_masks = decode_rows(rows, counts)
         if stats is not None:
             stats.distinct_syndromes += uniq.shape[0]
             stats.decode_calls += uniq.shape[0]
@@ -324,25 +331,28 @@ def decode_batch_dedup(
         defect_cols = cnz.tolist()
     masks: list[int] = []
     decoded = 0
-    for i in range(uniq.shape[0]):
-        if cache is not None:
-            key = uniq[i].tobytes()
-            hit, mask = cache.get(key)
-            if hit:
+    # the scalar fallback interleaves memo-cache lookups with per-row
+    # decodes, so one span covers both (args record the row count)
+    with obs.span("decode.kernel", lambda: {"rows": int(uniq.shape[0]), "path": "scalar"}):
+        for i in range(uniq.shape[0]):
+            if cache is not None:
+                key = uniq[i].tobytes()
+                hit, mask = cache.get(key)
+                if hit:
+                    if stats is not None:
+                        stats.cache_hits += 1
+                    masks.append(mask)
+                    continue
                 if stats is not None:
-                    stats.cache_hits += 1
-                masks.append(mask)
-                continue
-            if stats is not None:
-                stats.cache_misses += 1
-        if decode_defects is not None:
-            mask = decode_defects(defect_cols[starts[i] : starts[i + 1]], counts[i])
-        else:
-            mask = decode_one(rows[i], counts[i])
-        if cache is not None:
-            cache.put(key, mask)
-        decoded += 1
-        masks.append(mask)
+                    stats.cache_misses += 1
+            if decode_defects is not None:
+                mask = decode_defects(defect_cols[starts[i] : starts[i + 1]], counts[i])
+            else:
+                mask = decode_one(rows[i], counts[i])
+            if cache is not None:
+                cache.put(key, mask)
+            decoded += 1
+            masks.append(mask)
     if stats is not None:
         stats.decode_calls += decoded
         stats.distinct_syndromes += uniq.shape[0]
@@ -385,14 +395,14 @@ class BatchDecodingEngine:
 
     def decode_batch(self, detectors: np.ndarray) -> np.ndarray:
         """Decode one batch through the engine, updating cache and statistics."""
-        t0 = time.perf_counter()
-        out = decode_batch_dedup(
-            self.decoder,
-            detectors,
-            dedup=self.dedup,
-            cache=self.cache,
-            stats=self.stats,
-            backend=self.backend,
-        )
-        self.stats.decode_seconds += time.perf_counter() - t0
+        with obs.stopwatch() as sw:
+            out = decode_batch_dedup(
+                self.decoder,
+                detectors,
+                dedup=self.dedup,
+                cache=self.cache,
+                stats=self.stats,
+                backend=self.backend,
+            )
+        self.stats.decode_seconds += sw.seconds
         return out

@@ -10,11 +10,11 @@ matching decoder, or from a user-provided array).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .._util import resolve_rng
 from .batch import Decoder, expand_obs_masks
 from .graph import MatchingGraph
@@ -128,7 +128,7 @@ def measure_decoder_latencies(
     n = min(max_samples, detectors.shape[0])
     out = np.zeros(n, dtype=np.float64)
     for s in range(n):
-        t0 = time.perf_counter_ns()
-        decoder.decode(detectors[s])
-        out[s] = time.perf_counter_ns() - t0
+        with obs.stopwatch() as sw:
+            decoder.decode(detectors[s])
+        out[s] = sw.ns
     return out

@@ -9,11 +9,11 @@ rows/series the paper reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .._util import resolve_rng
 from ..casestudies.cultivation import cultivation_slack_distribution
 from ..casestudies.qldpc_slack import qldpc_surface_slack
@@ -777,11 +777,10 @@ def fig20_engine_scaling(
             )
             for i in range(k)
         ]
-        t0 = time.perf_counter()
-        for _ in range(repeats):
-            plan_k_patch_sync(patches, policy="hybrid")
-        elapsed = (time.perf_counter() - t0) / repeats
-        timing_rows.append({"patches": k, "cpu_time_s": elapsed})
+        with obs.stopwatch() as sw:
+            for _ in range(repeats):
+                plan_k_patch_sync(patches, policy="hybrid")
+        timing_rows.append({"patches": k, "cpu_time_s": sw.seconds / repeats})
     cnot_rows = [
         {"workload": name, "max_concurrent_cnots": max_concurrent_cnots(build_workload(name))}
         for name in sorted(PAPER_WORKLOADS)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .._util import env_int, env_str, resolve_rng
 from ..codes.surgery import SurgerySpec, surgery_experiment
 from ..core.policies import SyncScenario, _BasePolicy, policy_fields
@@ -160,6 +161,11 @@ class LerResult:
     plan_summary: dict = field(default_factory=dict)
     #: decode-engine statistics (present when run through run_surgery_ler)
     decode_stats: dict = field(default_factory=dict)
+    #: obs span events recorded while this result was decoded in a worker
+    #: process (repro.obs); merged into the coordinator's recorder by the
+    #: orchestration layer.  Observability only — excluded from
+    #: batch_stats(), so it can never enter stored records or estimates.
+    obs_spans: list = field(default_factory=list)
 
     @property
     def ler(self) -> list[float]:
@@ -445,9 +451,17 @@ def run_surgery_ler(
     )
     nobs = pipe.dem.num_observables
     failures = np.zeros(nobs, dtype=np.int64)
-    for det, obs in pipe.sampler.sample_batches(shots, rng, batch_size=batch_size):
+    batches = pipe.sampler.sample_batches(shots, rng, batch_size=batch_size)
+    while True:
+        # the generator samples lazily inside next(): the span brackets the
+        # actual sampling work, not the decode that follows
+        with obs.span("ler.sample"):
+            item = next(batches, None)
+        if item is None:
+            break
+        det, obs_flips = item
         predictions = engine.decode_batch(pipe.mask_detectors(det))
-        failures += (_pad_predictions(predictions, nobs) ^ obs).sum(axis=0)
+        failures += (_pad_predictions(predictions, nobs) ^ obs_flips).sum(axis=0)
     estimates = [RateEstimate(int(failures[k]), shots) for k in range(nobs)]
     stats = engine.stats
     from ..decoders import kernels

@@ -27,6 +27,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from .. import obs
 from .._util import spawn_seeds
 from ..core.policies import _BasePolicy, make_policy, policy_fields
 from ..decoders.batch import SyndromeCache
@@ -51,6 +52,7 @@ __all__ = [
     "reset_warm_state",
     "execute_tasks",
     "submit_task",
+    "absorb_result_spans",
     "DEFAULT_NUM_SHARDS",
 ]
 
@@ -169,25 +171,46 @@ def _run_task(task: SweepTask) -> LerResult:
         backend = getattr(pipeline, "payload_backend", None)
     analyses_before = _ler.PIPELINE_ANALYSES
     # decode_workers=1: a worker never re-shards, whatever the process-wide
-    # DECODE_DEFAULTS say
-    result = run_surgery_ler(
-        task.config,
-        policy,
-        task.shots,
-        task.seed,
-        decoder=task.decoder,
-        dedup=task.dedup,
-        batch_size=task.batch_size,
-        cache_size=task.cache_size,
-        decode_workers=1,
-        backend=backend,
-        pipeline=pipeline,
-        syndrome_cache=cache,
-    )
+    # DECODE_DEFAULTS say.  obs.collect drains the spans this task emits so
+    # they travel back on the result (and are absorbed exactly once by the
+    # coordinator, whether the task ran pooled or in-process).
+    with obs.collect() as spans:
+        result = run_surgery_ler(
+            task.config,
+            policy,
+            task.shots,
+            task.seed,
+            decoder=task.decoder,
+            dedup=task.dedup,
+            batch_size=task.batch_size,
+            cache_size=task.cache_size,
+            decode_workers=1,
+            backend=backend,
+            pipeline=pipeline,
+            syndrome_cache=cache,
+        )
     # analyses this task actually triggered in this process (0 when served
     # from the warm handoff or the in-process pipeline LRU)
     result.decode_stats["pipeline_analyses"] = _ler.PIPELINE_ANALYSES - analyses_before
+    if spans.events:
+        result.obs_spans = spans.events
     return result
+
+
+def absorb_result_spans(results) -> None:
+    """Merge worker-recorded span events into this process's recorder.
+
+    Called wherever task results re-enter the coordinator
+    (:func:`execute_tasks`, :func:`run_sweep_parallel`, and the future
+    path of the speculative scheduler).  Spans are cleared off the result
+    after absorption, so a result flowing through two layers (pool map ->
+    shard merge) is only counted once.
+    """
+    for result in results:
+        events = getattr(result, "obs_spans", None)
+        if events:
+            obs.absorb(events)
+            result.obs_spans = []
 
 
 def submit_task(pool: ProcessPoolExecutor, task: SweepTask):
@@ -210,7 +233,9 @@ def execute_tasks(pool: ProcessPoolExecutor, tasks: list[SweepTask]) -> list[Ler
     its pipelines and per-family syndrome caches alive across every batch,
     convergence round and sweep point it serves.
     """
-    return list(pool.map(_run_task, tasks))
+    results = list(pool.map(_run_task, tasks))
+    absorb_result_spans(results)
+    return results
 
 
 def run_sweep_parallel(
@@ -233,13 +258,16 @@ def run_sweep_parallel(
     if max_workers == 1 or len(tasks) == 1:
         for payload in payloads or []:
             _install_payload(payload)
-        return [_run_task(t) for t in tasks]
-    kwargs = {}
-    if payloads:
-        blobs = tuple(pickle.dumps(p) for p in payloads)
-        kwargs = {"initializer": warm_worker, "initargs": (blobs,)}
-    with ProcessPoolExecutor(max_workers=max_workers, **kwargs) as pool:
-        return list(pool.map(_run_task, tasks))
+        results = [_run_task(t) for t in tasks]
+    else:
+        kwargs = {}
+        if payloads:
+            blobs = tuple(pickle.dumps(p) for p in payloads)
+            kwargs = {"initializer": warm_worker, "initargs": (blobs,)}
+        with ProcessPoolExecutor(max_workers=max_workers, **kwargs) as pool:
+            results = list(pool.map(_run_task, tasks))
+    absorb_result_spans(results)
+    return results
 
 
 def shard_tasks(

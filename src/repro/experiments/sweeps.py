@@ -58,12 +58,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core.policies import PolicyNotApplicableError, make_policy
 from ..noise.hardware import PRESETS, HardwareConfig
 from ..store import ResultStore, batch_entropy, point_key
 from . import ler as _ler
 from .ler import SurgeryLerConfig
-from .parallel import SweepTask, execute_tasks, run_sweep_parallel, submit_task
+from .parallel import (
+    SweepTask,
+    absorb_result_spans,
+    execute_tasks,
+    run_sweep_parallel,
+    submit_task,
+)
 from .stats import RateEstimate, wilson_interval
 
 __all__ = [
@@ -546,7 +553,10 @@ class _SweepRun:
             return run_sweep_parallel(tasks, max_workers=1, payloads=[payload])
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        return execute_tasks(self._pool, tasks)
+        # the sequential scheduler's round barrier: the coordinator blocks
+        # here until the whole round returns (cf. sweep.idle in _await_some)
+        with obs.span("sweep.idle", lambda: {"inflight": len(tasks)}):
+            return execute_tasks(self._pool, tasks)
 
     # -- shared per-point bookkeeping (sequential and concurrent paths) ----
 
@@ -614,17 +624,21 @@ class _SweepRun:
         (decoded by an earlier pass), so their worker-side analysis counts
         don't belong to this invocation.
         """
-        record["failures"] = [
-            a + int(b) for a, b in zip(record["failures"], br["failures"])
-        ]
-        record["shots"] += int(br["shots"])
-        record["batches"] += 1
-        stats = br.get("decode_stats") or {}
-        for k in _ACCUM_KEYS:
-            record["decode_stats"][k] = record["decode_stats"].get(k, 0) + stats.get(k, 0)
-        if not replayed:
-            self.report.analyses_workers += stats.get("pipeline_analyses", 0)
-        self._update_batch_plan(record)
+        with obs.span("sweep.replay" if replayed else "sweep.apply"):
+            record["failures"] = [
+                a + int(b) for a, b in zip(record["failures"], br["failures"])
+            ]
+            record["shots"] += int(br["shots"])
+            record["batches"] += 1
+            stats = br.get("decode_stats") or {}
+            for k in _ACCUM_KEYS:
+                record["decode_stats"][k] = (
+                    record["decode_stats"].get(k, 0) + stats.get(k, 0)
+                )
+            if not replayed:
+                self.report.analyses_workers += stats.get("pipeline_analyses", 0)
+            self._update_batch_plan(record)
+        obs.count("sweep.batches_replayed" if replayed else "sweep.batches_applied")
 
     def _refresh_stats(self, record: dict) -> None:
         stats = record["decode_stats"]
@@ -862,7 +876,8 @@ class _SweepRun:
 
     def _await_some(self, futures: dict) -> None:
         """Block for at least one in-flight batch and receive all completed."""
-        done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        with obs.span("sweep.idle", lambda: {"inflight": len(futures)}):
+            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
         for fut in done:
             state, index = futures.pop(fut)
             self._receive(state, index, fut.result())
@@ -900,12 +915,14 @@ class _SweepRun:
                 return
             self.budget.spend(1)
             size = self._planned_batch_shots(record)
-            fut = submit_task(
-                self._pool,
-                self._make_task(
-                    state.pt, state.key, state.payload, state.blob, index, size
-                ),
-            )
+            with obs.span("sweep.dispatch", lambda: {"index": index, "shots": size}):
+                fut = submit_task(
+                    self._pool,
+                    self._make_task(
+                        state.pt, state.key, state.payload, state.blob, index, size
+                    ),
+                )
+            obs.count("sweep.batches_dispatched")
             state.inflight[index] = fut
             state.sizes[index] = size
             state.redo.discard(index)
@@ -915,6 +932,7 @@ class _SweepRun:
 
     def _receive(self, state: _ConcurrentPoint, index: int, result) -> None:
         """Commit one completed batch; queue it for in-order application."""
+        absorb_result_spans((result,))
         br = self._batch_record_of(result)
         self.store.put_batch(state.key, index, br)
         state.inflight.pop(index, None)
@@ -923,6 +941,8 @@ class _SweepRun:
             # batch was decoding; committed above, excluded from estimates
             state.sizes.pop(index, None)
             self.report.batches_overshoot += 1
+            obs.event("sweep.overshoot", lambda: {"index": index})
+            obs.count("sweep.batches_overshoot")
         else:
             state.pending[index] = (br, False)
 
@@ -943,6 +963,7 @@ class _SweepRun:
                         state.sizes.pop(idx, None)
                         if not replayed:
                             self.report.batches_overshoot += 1
+                            obs.count("sweep.batches_overshoot")
                     state.pending.clear()
                     state.finished = True
                     progressed = True
@@ -965,6 +986,7 @@ class _SweepRun:
                     progressed = True
                     if not replayed:
                         self.report.batches_overshoot += 1
+                        obs.count("sweep.batches_overshoot")
                     continue
                 self._apply_batch(record, br, replayed=replayed)
                 if replayed:

@@ -1,0 +1,72 @@
+"""repro.obs: deterministic tracing, metrics & profiling for the pipeline.
+
+Span instrumentation (sample → dedup → kernel decode → cache → store
+commit; dispatch/apply/replay/overshoot/idle in the sweep schedulers),
+worker-count-independent latency histograms, and Chrome-trace/metrics
+exporters.  Zero-overhead when disabled; observability output never enters
+store keys or prediction-affecting record fields (see
+docs/OBSERVABILITY.md for the span catalogue and the bit-identity
+contract).
+"""
+
+from .core import (
+    DEFAULT_BUCKET_BOUNDS_NS,
+    LatencyHistogram,
+    Recorder,
+    Stopwatch,
+    absorb,
+    active,
+    collect,
+    configure,
+    count,
+    disable,
+    enabled,
+    event,
+    reset,
+    span,
+    stopwatch,
+)
+from .export import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    chrome_trace,
+    format_summary,
+    load_metrics,
+    load_trace,
+    metrics_snapshot,
+    phase_totals,
+    summarize,
+    summarize_trace,
+    write_metrics,
+    write_trace,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS_NS",
+    "LatencyHistogram",
+    "Recorder",
+    "Stopwatch",
+    "absorb",
+    "active",
+    "collect",
+    "configure",
+    "count",
+    "disable",
+    "enabled",
+    "event",
+    "reset",
+    "span",
+    "stopwatch",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "format_summary",
+    "load_metrics",
+    "load_trace",
+    "metrics_snapshot",
+    "phase_totals",
+    "summarize",
+    "summarize_trace",
+    "write_metrics",
+    "write_trace",
+]

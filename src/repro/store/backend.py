@@ -39,6 +39,8 @@ import tempfile
 import time
 from pathlib import Path
 
+from .. import obs
+
 __all__ = ["ResultStore", "default_store", "set_default_store"]
 
 #: explicit process-wide default store (overrides the environment knob)
@@ -63,18 +65,21 @@ class ResultStore:
         return self.root / "batches" / key[:2] / key
 
     def _write_json(self, path: Path, record: dict) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as f:
-                json.dump(record, f, indent=1)
-            os.replace(tmp, path)
-        except BaseException:
+        # every durable write (point checkpoint or commit-ahead batch) funnels
+        # through here, so this one span is the whole store-commit phase
+        with obs.span("store.commit", lambda: {"file": path.name}):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as f:
+                    json.dump(record, f, indent=1)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
 
     def get(self, key: str) -> dict | None:
         """The stored record for ``key``, or None."""

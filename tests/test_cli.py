@@ -399,3 +399,120 @@ def test_lint_list_rules_prints_catalogue(capsys):
 
     for name in analysis.names():
         assert name in out
+
+
+# ---------------------------------------------------------------------------
+# observability: sweep run --trace/--metrics-out, trace summarize, status -v
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_run_writes_trace_and_metrics(capsys, tmp_path, sweep_spec_file):
+    from repro import obs
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert (
+        cli.main(
+            [
+                "sweep", "run", str(sweep_spec_file),
+                "--store", str(tmp_path / "store"),
+                "--trace", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "wrote trace" in out and "wrote metrics" in out
+    # the CLI cleaned up after itself: tracing is off again
+    assert not obs.enabled()
+
+    doc = json.loads(trace.read_text())
+    assert doc["schema"] == obs.TRACE_SCHEMA
+    assert doc["traceEvents"]
+    kinds = {ev["name"] for ev in doc["traceEvents"]}
+    assert "ler.sample" in kinds and "store.commit" in kinds
+    # a warm SyndromeCache can satisfy every shot (no kernel span opens),
+    # but one of the two decode phases is always present
+    assert kinds & {"decode.kernel", "decode.cache"}
+
+    snap = obs.load_metrics(metrics)
+    assert snap["histograms"]
+
+
+def test_trace_summarize_prints_percentile_breakdown(capsys, tmp_path, sweep_spec_file):
+    trace = tmp_path / "t.json"
+    cli.main(
+        [
+            "sweep", "run", str(sweep_spec_file),
+            "--store", str(tmp_path / "store"),
+            "--trace", str(trace),
+        ]
+    )
+    capsys.readouterr()
+    assert cli.main(["trace", "summarize", str(trace)]) == 0
+    out = capsys.readouterr().out
+    for column in ("span", "count", "total_s", "p50_us", "p95_us", "p99_us"):
+        assert column in out
+    assert "ler.sample" in out
+
+    assert cli.main(["trace", "summarize", str(trace), "--format", "json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert any(r["name"] == "ler.sample" for r in rows)
+
+
+def test_trace_summarize_missing_file_is_clean_error(capsys, tmp_path):
+    assert cli.main(["trace", "summarize", str(tmp_path / "nope.json")]) == 2
+    assert "cannot summarize" in capsys.readouterr().err
+
+
+def test_sweep_run_trace_env_knob(capsys, tmp_path, sweep_spec_file, monkeypatch):
+    trace = tmp_path / "env-trace.json"
+    monkeypatch.setenv("REPRO_TRACE", str(trace))
+    assert (
+        cli.main(
+            ["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "store")]
+        )
+        == 0
+    )
+    assert json.loads(trace.read_text())["traceEvents"]
+
+
+def test_sweep_run_tracing_is_bit_neutral(capsys, tmp_path, sweep_spec_file):
+    from repro.experiments.sweeps import record_parity_view
+    from repro.store import ResultStore
+
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "plain")])
+    cli.main(
+        [
+            "sweep", "run", str(sweep_spec_file),
+            "--store", str(tmp_path / "traced"),
+            "--trace", str(tmp_path / "t.json"),
+        ]
+    )
+    plain = ResultStore(tmp_path / "plain")
+    traced = ResultStore(tmp_path / "traced")
+    assert plain.keys() == traced.keys() and len(plain.keys()) > 0
+    for key in plain.keys():
+        assert record_parity_view(plain.get(key)) == record_parity_view(traced.get(key))
+
+
+def test_sweep_status_verbose_reports_decode_stats(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)])
+    capsys.readouterr()
+    assert (
+        cli.main(["sweep", "status", str(sweep_spec_file), "--store", str(store)]) == 0
+    )
+    terse = capsys.readouterr().out
+    assert "decode_s=" not in terse
+    assert (
+        cli.main(
+            ["sweep", "status", str(sweep_spec_file), "--store", str(store), "--verbose"]
+        )
+        == 0
+    )
+    verbose = capsys.readouterr().out
+    assert "decode_s=" in verbose
+    assert "cache_hit_rate=" in verbose
+    assert "shots_per_s=" in verbose

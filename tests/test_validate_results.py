@@ -89,3 +89,103 @@ def test_all_problems_listed_not_just_first(results_dir, capsys):
     assert validate_results.main([str(results_dir)]) == 1
     err = capsys.readouterr().err
     assert "a_bad.json" in err and "z_bad.json" in err
+
+
+# ---------------------------------------------------------------------------
+# observability artifacts: --trace / --metrics (docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+
+def _write_valid_obs_pair(tmp_path):
+    from repro import obs
+
+    obs.configure(
+        trace_path=tmp_path / "t.json", metrics_path=tmp_path / "m.json"
+    )
+    try:
+        with obs.span("decode.kernel"):
+            pass
+        obs.count("sweep.batches_dispatched")
+        obs.write_trace()
+        obs.write_metrics()
+    finally:
+        obs.reset()
+    return tmp_path / "t.json", tmp_path / "m.json"
+
+
+def test_real_obs_artifacts_validate_clean(tmp_path, capsys):
+    trace, metrics = _write_valid_obs_pair(tmp_path)
+    rc = validate_results.main(["--trace", str(trace), "--metrics", str(metrics)])
+    assert rc == 0
+    assert "0 problems" in capsys.readouterr().out
+
+
+def test_trace_wrong_schema_rejected(tmp_path, capsys):
+    bad = tmp_path / "t.json"
+    bad.write_text(json.dumps({"schema": "nope/v0", "traceEvents": [
+        {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 1}
+    ]}))
+    assert validate_results.main(["--trace", str(bad)]) == 1
+    assert "schema" in capsys.readouterr().err
+
+
+def test_trace_structural_problems_rejected(tmp_path, capsys):
+    bad = tmp_path / "t.json"
+    # empty traceEvents, an event missing required keys, an unknown phase,
+    # and a complete event without dur must each be reported
+    bad.write_text(json.dumps({
+        "schema": validate_results.TRACE_SCHEMA,
+        "traceEvents": [
+            {"name": "a", "ph": "Z", "ts": 0, "pid": 1},
+            {"name": "b", "ph": "X", "ts": -5, "pid": 1},
+            {"ph": "X", "ts": 0, "dur": 1, "pid": 1},
+        ],
+    }))
+    assert validate_results.main(["--trace", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "unknown phase" in err
+    assert "without dur" in err
+    assert "missing keys" in err
+    assert "negative ts" in err
+
+
+def test_metrics_count_mismatch_rejected(tmp_path, capsys):
+    trace, metrics = _write_valid_obs_pair(tmp_path)
+    snap = json.loads(metrics.read_text())
+    name, hist = next(iter(snap["histograms"].items()))
+    hist["count"] += 1  # no longer the sum of the bucket counts
+    metrics.write_text(json.dumps(snap))
+    assert validate_results.main(["--metrics", str(metrics)]) == 1
+    assert "sum of bucket" in capsys.readouterr().err
+
+
+def test_metrics_bad_counts_shape_rejected(tmp_path, capsys):
+    bad = tmp_path / "m.json"
+    bad.write_text(json.dumps({
+        "schema": validate_results.METRICS_SCHEMA,
+        "counters": {"ok": 1, "bad": -2},
+        "histograms": {
+            "h": {"bucket_bounds_ns": [100, 200], "counts": [1, 0],
+                  "count": 1, "sum_ns": 50},
+        },
+    }))
+    assert validate_results.main(["--metrics", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "non-negative integer" in err          # counter 'bad'
+    assert "bounds+1" in err                      # counts length mismatch
+
+
+def test_unreadable_obs_artifact_rejected(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert validate_results.main(["--trace", str(missing)]) == 1
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_obs_flags_compose_with_directory_validation(results_dir, tmp_path, capsys):
+    trace, metrics = _write_valid_obs_pair(tmp_path)
+    rc = validate_results.main(
+        [str(results_dir), "--trace", str(trace), "--metrics", str(metrics)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "0 invalid" in out
