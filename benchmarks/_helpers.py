@@ -39,7 +39,18 @@ def bench_seed() -> int:
 
 
 def record(name: str, data) -> None:
-    """Persist benchmark output and echo it for the harness log."""
+    """Persist benchmark output and echo it for the harness log.
+
+    Dict-shaped outputs get a uniform ``meta`` provenance block (python,
+    platform, cpu count, store salt, timestamp) stamped in — the same keys
+    ``repro bench record`` carries into the perf history, so ad-hoc results
+    and history entries are comparable (``meta`` is excluded from the
+    history's numeric series).
+    """
+    if isinstance(data, dict):
+        from repro.obs import provenance_meta
+
+        data = dict(data, meta=provenance_meta())
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     with open(path, "w") as f:
@@ -65,6 +76,7 @@ def record_merge(name: str, sections: dict) -> None:
             merged = {}
     if not isinstance(merged, dict) or "config" in merged:
         merged = {}  # legacy flat layout: replaced by per-section rows
+    merged.pop("meta", None)  # restamped by record() with fresh provenance
     merged.update(sections)
     record(name, merged)
 

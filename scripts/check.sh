@@ -23,9 +23,14 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python scripts/check_lint.py
 # observability smoke (docs/OBSERVABILITY.md): emit a tiny trace + metrics
 # pair through the real recorder, schema-check both artifacts, and make
-# sure `repro trace summarize` can read what `write_trace` wrote
-OBS_TMP="$(mktemp -d)"
-trap 'rm -rf "$OBS_TMP"' EXIT
+# sure `repro trace summarize` can read what `write_trace` wrote.
+# OBS_ARTIFACTS_DIR (set by the CI fast lane) keeps the artifacts for
+# upload; otherwise they live in a throwaway tmpdir.
+OBS_TMP="${OBS_ARTIFACTS_DIR:-$(mktemp -d)}"
+mkdir -p "$OBS_TMP"
+if [ -z "${OBS_ARTIFACTS_DIR:-}" ]; then
+  trap 'rm -rf "$OBS_TMP"' EXIT
+fi
 python - "$OBS_TMP" <<'EOF'
 import sys
 from repro import obs
@@ -41,7 +46,47 @@ obs.reset()
 EOF
 python scripts/validate_results.py --trace "$OBS_TMP/t.json" --metrics "$OBS_TMP/m.json"
 python -m repro.cli trace summarize "$OBS_TMP/t.json" > /dev/null
-echo "obs smoke: trace summarize + schema validation ok"
-rm -rf "$OBS_TMP"
-trap - EXIT  # exec below skips EXIT traps; the tmpdir is already gone
+python -m repro.cli metrics summarize "$OBS_TMP/m.json" > /dev/null
+echo "obs smoke: trace/metrics summarize + schema validation ok"
+# run-ledger smoke (docs/OBSERVABILITY.md): a tiny real sweep writes a run
+# manifest + event log into the store; the runs CLI, the live watcher and
+# the schema validator must all read it back
+python - "$OBS_TMP" <<'EOF'
+import sys
+from repro.experiments.sweeps import PolicySpec, SweepSpec, run_sweep
+from repro.noise.hardware import PRESETS
+from repro.store import ResultStore
+
+spec = SweepSpec(
+    name="check-ledger",
+    distances=(2,),
+    taus_ns=(500.0,),
+    policies=(PolicySpec("passive"),),
+    hardware=PRESETS["google"],
+    seed=11,
+    p=5e-3,
+    batch_shots=200,
+    min_shots=200,
+    max_shots=400,
+    target_rse=0.5,
+)
+run_sweep(spec, store=ResultStore(f"{sys.argv[1]}/store"))
+EOF
+RUN_ID="$(python -m repro.cli runs list --store "$OBS_TMP/store" --format json \
+  | python -c 'import json,sys; print(json.load(sys.stdin)[0]["run_id"])')"
+python -m repro.cli runs show --latest --store "$OBS_TMP/store" > /dev/null
+python -m repro.cli sweep watch "$RUN_ID" --store "$OBS_TMP/store" --once > /dev/null
+python scripts/validate_results.py --ledger "$OBS_TMP/store/runs/$RUN_ID"
+echo "obs smoke: run ledger ($RUN_ID) list/show/watch + schema validation ok"
+# perf-history smoke (docs/CI.md): fold a results file into a throwaway
+# history, compare report-only, and schema-check the JSONL
+python -m repro.cli bench record benchmarks/results/decode_throughput.json \
+  --history "$OBS_TMP/history.jsonl" --note "check.sh smoke" > /dev/null
+python -m repro.cli bench compare --history "$OBS_TMP/history.jsonl" > /dev/null
+python scripts/validate_results.py --history "$OBS_TMP/history.jsonl"
+echo "obs smoke: bench record/compare + history schema validation ok"
+if [ -z "${OBS_ARTIFACTS_DIR:-}" ]; then
+  rm -rf "$OBS_TMP"
+  trap - EXIT  # exec below skips EXIT traps; the tmpdir is already gone
+fi
 exec python -m pytest -q -m "not slow" --durations=10 "$@"

@@ -20,15 +20,19 @@ Files this repo's own benchmarks write also get required-key checks
 (``REQUIRED_KEYS``) so a refactor that renames a column fails loudly.
 
 Observability artifacts (docs/OBSERVABILITY.md) are validated on demand:
-``--trace FILE`` checks a ``repro.obs.trace/v1`` Chrome trace and
-``--metrics FILE`` a ``repro.obs.metrics/v1`` snapshot (both repeatable;
-``scripts/check.sh`` runs them against a freshly generated pair).
+``--trace FILE`` checks a ``repro.obs.trace/v1`` Chrome trace, ``--metrics
+FILE`` a ``repro.obs.metrics/v1`` snapshot, ``--ledger RUNDIR`` a run-ledger
+directory (``manifest.json`` + ``events.jsonl``) and ``--history FILE`` a
+``repro.bench.history/v1`` JSONL (all repeatable; ``scripts/check.sh`` runs
+them against freshly generated artifacts).
 
 Usage::
 
     python scripts/validate_results.py            # validate the repo's dir
     python scripts/validate_results.py DIR        # validate another dir
     python scripts/validate_results.py --trace t.json --metrics m.json
+    python scripts/validate_results.py --ledger store/runs/RUN_ID
+    python scripts/validate_results.py --history benchmarks/history/history.jsonl
 
 Exit status 0 = every file valid; 1 = at least one problem (all problems
 are listed, not just the first).
@@ -68,6 +72,19 @@ REQUIRED_KEYS = {
 #: schema tags the repro.obs exporters stamp into their artifacts
 TRACE_SCHEMA = "repro.obs.trace/v1"
 METRICS_SCHEMA = "repro.obs.metrics/v1"
+RUN_SCHEMA = "repro.obs.run/v1"
+HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: event names a run ledger may contain (repro/obs/ledger.py)
+LEDGER_EVENTS = {
+    "run_start",
+    "run_finish",
+    "point_start",
+    "point_store_served",
+    "point_converged",
+    "batch",
+    "heartbeat",
+}
 
 
 def _load_json(path: Path):
@@ -163,6 +180,118 @@ def validate_metrics_file(path: Path) -> list[str]:
     return problems
 
 
+def validate_ledger_file(rundir: Path) -> list[str]:
+    """All problems with one ``repro.obs.run/v1`` run-ledger directory.
+
+    A crashed run leaves a manifest with ``status: "running"`` and possibly a
+    torn final event line; both are tolerated (the ledger is append-only and
+    readers skip the truncated tail), so only structural damage fails.
+    """
+    problems: list[str] = []
+    manifest_path = rundir / "manifest.json"
+    try:
+        manifest = _load_json(manifest_path)
+    except (OSError, ValueError) as exc:
+        return [f"manifest unreadable: {exc}"]
+    if not isinstance(manifest, dict):
+        return [f"manifest top level must be a dict, got {type(manifest).__name__}"]
+    if manifest.get("schema") != RUN_SCHEMA:
+        problems.append(
+            f"manifest schema is {manifest.get('schema')!r}, expected {RUN_SCHEMA!r}"
+        )
+    missing = {
+        "run_id",
+        "sweep",
+        "spec_digest",
+        "store_salt",
+        "status",
+        "created_at",
+    } - set(manifest)
+    if missing:
+        problems.append(f"manifest missing keys: {', '.join(sorted(missing))}")
+    _walk_finite(manifest, "$", problems)
+
+    events_path = rundir / "events.jsonl"
+    try:
+        with open(events_path) as f:
+            lines = f.read().splitlines()
+    except OSError as exc:
+        problems.append(f"events unreadable: {exc}")
+        return problems
+    parsed = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line, parse_constant=_reject_constant)
+        except ValueError:
+            if i == len(lines) - 1:
+                continue  # torn tail from a crash mid-append: tolerated
+            problems.append(f"events line {i + 1} is not valid JSON")
+            continue
+        if not isinstance(event, dict) or "ev" not in event or "t" not in event:
+            problems.append(f"events line {i + 1} is not an event dict with ev/t")
+            continue
+        if event["ev"] not in LEDGER_EVENTS:
+            problems.append(f"events line {i + 1} has unknown event {event['ev']!r}")
+        if parsed == 0 and event["ev"] != "run_start":
+            problems.append(f"first event is {event['ev']!r}, expected 'run_start'")
+        _walk_finite(event, f"$.events[{i}]", problems)
+        parsed += 1
+    if parsed == 0:
+        problems.append("events.jsonl has no parseable events")
+    return problems
+
+
+def validate_history_file(path: Path) -> list[str]:
+    """All problems with one ``repro.bench.history/v1`` JSONL file."""
+    problems: list[str] = []
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    parsed = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line, parse_constant=_reject_constant)
+        except ValueError:
+            if i == len(lines) - 1:
+                continue  # torn tail: tolerated, same policy as the ledger
+            problems.append(f"line {i + 1} is not valid JSON")
+            continue
+        if not isinstance(entry, dict):
+            problems.append(f"line {i + 1} top level is not a dict")
+            continue
+        if entry.get("schema") != HISTORY_SCHEMA:
+            problems.append(
+                f"line {i + 1} schema is {entry.get('schema')!r}, "
+                f"expected {HISTORY_SCHEMA!r}"
+            )
+        if not isinstance(entry.get("source"), str) or not entry.get("source"):
+            problems.append(f"line {i + 1} source must be a non-empty string")
+        if not isinstance(entry.get("meta"), dict):
+            problems.append(f"line {i + 1} meta must be a dict")
+        if not isinstance(entry.get("manifest_key"), str):
+            problems.append(f"line {i + 1} manifest_key must be a string")
+        series = entry.get("series")
+        if not isinstance(series, dict):
+            problems.append(f"line {i + 1} series must be a dict")
+            continue
+        for name, value in series.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"line {i + 1} series {name!r} is not a number")
+            elif not math.isfinite(value):
+                problems.append(f"line {i + 1} series {name!r} is not finite")
+        _walk_finite(entry.get("meta"), f"$.line{i + 1}.meta", problems)
+        parsed += 1
+    if parsed == 0:
+        problems.append("no parseable history entries")
+    return problems
+
+
 def _reject_constant(token: str):
     raise ValueError(f"non-finite JSON constant {token!r}")
 
@@ -214,11 +343,16 @@ def main(argv: list[str] | None = None) -> int:
     positional: list[str] = []
     i = 0
     while i < len(argv):
-        if argv[i] in ("--trace", "--metrics"):
+        if argv[i] in ("--trace", "--metrics", "--ledger", "--history"):
             if i + 1 >= len(argv):
-                print(f"{argv[i]} requires a FILE argument", file=sys.stderr)
+                print(f"{argv[i]} requires a PATH argument", file=sys.stderr)
                 return 1
-            kind = validate_trace_file if argv[i] == "--trace" else validate_metrics_file
+            kind = {
+                "--trace": validate_trace_file,
+                "--metrics": validate_metrics_file,
+                "--ledger": validate_ledger_file,
+                "--history": validate_history_file,
+            }[argv[i]]
             checks.append((Path(argv[i + 1]), kind))
             i += 2
         else:

@@ -17,14 +17,25 @@ Usage::
     python -m repro.cli sweep run spec.json --store results/store --resume
     python -m repro.cli sweep run spec.json --workers 8 --speculate 4
     python -m repro.cli sweep status spec.json --store results/store
+    python -m repro.cli sweep watch --latest --store results/store
     python -m repro.cli sweep export spec.json --store results/store --out rows.json
     python -m repro.cli sweep gc --older-than 30 --store results/store --dry-run
     python -m repro.cli sweep clear --store results/store --yes
 
+    python -m repro.cli runs list --store results/store
+    python -m repro.cli runs show --latest --store results/store
+    python -m repro.cli runs gc --older-than 30 --store results/store
+
+    python -m repro.cli metrics summarize metrics.json
+    python -m repro.cli bench record benchmarks/results/decode_throughput.json
+    python -m repro.cli bench compare --strict
+
 Each driver prints its rows and (with ``--out``) writes JSON next to the
 benchmark harness's output format.  The ``sweep`` subcommands drive the
 resumable orchestrator over a content-addressed result store (see
-``docs/SWEEPS.md`` for the spec format and store layout).
+``docs/SWEEPS.md`` for the spec format and store layout); ``runs`` and
+``sweep watch`` read the run ledger it records under ``runs/``; ``bench``
+maintains the perf-trajectory history (docs/OBSERVABILITY.md, docs/CI.md).
 """
 
 from __future__ import annotations
@@ -238,8 +249,15 @@ def _sweep_run(args) -> int:
             workers=args.workers,
             speculate=args.speculate,
             progress=lambda msg: print(f"  {msg}"),
+            ledger=False if args.no_ledger else None,
         )
         print(json.dumps(report.summary(), indent=2))
+        if report.run_id:
+            print(
+                f"run {report.run_id} recorded under {store.runs_root}"
+                f" (watch with: repro sweep watch {report.run_id}"
+                f" --store {store.root})"
+            )
         for outcome in report.outcomes:
             rec = outcome.record
             cfg = rec.get("config", {})
@@ -308,6 +326,23 @@ def _sweep_status(args) -> int:
                     f"cache_hit_rate={hit_rate:.1%} "
                     f"shots_per_s={throughput:,.0f}"
                 )
+                # mid-run progress from the commit-ahead batch log: batches
+                # already applied + committed-ahead vs. the remaining plan
+                # under the adaptive next-batch size (read-only, no decoding)
+                applied = int(rec.get("batches", 0))
+                ahead = sum(1 for i in store.batch_indices(key) if i >= applied)
+                if rec.get("converged"):
+                    progress = f"complete ({ahead} commit-ahead batches kept)"
+                else:
+                    next_size = int(rec.get("batch_shots_next") or spec.batch_shots)
+                    remaining = max(0, spec.max_shots - shots)
+                    est_total = applied + -(-remaining // max(1, next_size))
+                    progress = (
+                        f"batches {applied}+{ahead} committed / ~{est_total} "
+                        f"estimated, shots {shots}/{spec.max_shots}, "
+                        f"next_batch={next_size}"
+                    )
+                print(f"      progress: {progress}")
     return 0
 
 
@@ -323,6 +358,254 @@ def _trace_summarize(args) -> int:
         print(json.dumps(rows, indent=2))
     else:
         print(obs.format_summary(rows))
+    return 0
+
+
+def _metrics_summarize(args) -> int:
+    from . import obs
+
+    try:
+        data = obs.summarize_metrics(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot summarize {args.file}: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(data, indent=2))
+        return 0
+    if data["counters"]:
+        width = max(len(k) for k in data["counters"])
+        print("counters:")
+        for name, value in data["counters"].items():
+            print(f"  {name:<{width}} {value}")
+    print(obs.format_summary(data["rows"]))
+    return 0
+
+
+def _render_watch(snap: dict) -> str:
+    """One text frame of `sweep watch` / `runs show` for a run snapshot."""
+    lines = [
+        f"run {snap['run_id']} sweep={snap['sweep']} status={snap['status']}"
+        f" workers={snap['workers']} speculate={snap['speculate']}"
+    ]
+    for p in snap["points"]:
+        shots = (
+            f"{p['shots']}/{p['max_shots']}" if p.get("max_shots") else str(p["shots"])
+        )
+        extra = []
+        if p["status"] == "converged" and p.get("stop_reason"):
+            extra.append(str(p["stop_reason"]))
+        if p.get("batches_ahead"):
+            extra.append(f"+{p['batches_ahead']} ahead")
+        if p["status"] in ("pending", "running"):
+            if isinstance(p.get("batches_remaining"), int):
+                extra.append(f"~{p['batches_remaining']} to go")
+            if p.get("next_batch_shots"):
+                extra.append(f"next={p['next_batch_shots']}")
+        suffix = f" ({', '.join(extra)})" if extra else ""
+        lines.append(
+            f"  {p['label']:<28} {p['status']:<14} shots={shots} "
+            f"batches={p['batches']}{suffix}"
+        )
+    t = snap["totals"]
+    tail = (
+        f"totals: {t['decoded']} decoded / {t['replayed']} replayed / "
+        f"{t['overshoot']} overshoot, {t['shots_decoded']} shots"
+    )
+    if snap.get("rate_batches_per_s"):
+        tail += f", {snap['rate_batches_per_s']:.2f} batches/s"
+    if snap.get("eta_s") is not None:
+        tail += f", eta ~{snap['eta_s']:.0f}s"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def _resolve_run_id(args, ledger) -> "str | None":
+    """RUN_ID positional / --latest resolution shared by watch and show."""
+    rid = getattr(args, "run_id", None)
+    if rid is None or getattr(args, "latest", False):
+        rid = ledger.latest()
+        if rid is None:
+            print(f"no runs recorded under {ledger.root}", file=sys.stderr)
+            return None
+    if rid not in ledger.run_ids():
+        print(
+            f"unknown run id {rid!r} under {ledger.root} (try `repro runs list`)",
+            file=sys.stderr,
+        )
+        return None
+    return rid
+
+
+def _sweep_watch(args) -> int:
+    import time
+
+    from .obs import RunLedger, watch_snapshot
+
+    store = _resolve_store(args.store)
+    ledger = RunLedger.for_store(store)
+    rid = _resolve_run_id(args, ledger)
+    if rid is None:
+        return 2
+    while True:
+        snap = watch_snapshot(store, rid)
+        print(_render_watch(snap))
+        if args.once or snap["status"] != "running":
+            return 0
+        time.sleep(args.interval)
+        print()
+
+
+def _runs_list(args) -> int:
+    from .obs import RunLedger
+
+    store = _resolve_store(args.store)
+    ledger = RunLedger.for_store(store)
+    rows = []
+    for rid in ledger.run_ids():
+        manifest = ledger.manifest(rid) or {}
+        summary = manifest.get("summary") or {}
+        rows.append(
+            {
+                "run_id": rid,
+                "sweep": manifest.get("sweep"),
+                "status": ledger.status(rid),
+                "workers": manifest.get("workers"),
+                "speculate": manifest.get("speculate"),
+                "points": manifest.get("points"),
+                "shots_decoded": summary.get("shots_decoded"),
+                "batches_decoded": summary.get("batches_decoded"),
+            }
+        )
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print(f"no runs recorded under {ledger.root}")
+        return 0
+    for r in rows:
+        shots = r["shots_decoded"] if r["shots_decoded"] is not None else "-"
+        print(
+            f"  {r['run_id']}  {str(r['sweep'] or '?'):<20} {r['status']:<12} "
+            f"workers={r['workers']} speculate={r['speculate']} "
+            f"points={r['points']} shots_decoded={shots}"
+        )
+    return 0
+
+
+def _runs_show(args) -> int:
+    from .obs import RunLedger, watch_snapshot
+
+    store = _resolve_store(args.store)
+    ledger = RunLedger.for_store(store)
+    rid = _resolve_run_id(args, ledger)
+    if rid is None:
+        return 2
+    manifest = ledger.manifest(rid)
+    events = ledger.events(rid)
+    if args.format == "json":
+        print(json.dumps({"manifest": manifest, "events": events}, indent=2))
+        return 0
+    print(_render_watch(watch_snapshot(store, rid)))
+    if manifest:
+        print("manifest:")
+        for k in (
+            "spec_digest",
+            "store_salt",
+            "seed",
+            "backend",
+            "backend_resolved",
+            "python",
+            "platform",
+            "cpu_count",
+            "created_at",
+            "finished_at",
+        ):
+            if k in manifest:
+                print(f"  {k}: {manifest[k]}")
+    counts: dict = {}
+    for ev in events:
+        counts[ev.get("ev")] = counts.get(ev.get("ev"), 0) + 1
+    print(
+        "events: "
+        + (", ".join(f"{k}={v}" for k, v in sorted(counts.items())) or "none")
+    )
+    return 0
+
+
+def _runs_gc(args) -> int:
+    from .obs import RunLedger
+
+    store = _resolve_store(args.store)
+    ledger = RunLedger.for_store(store)
+    summary = ledger.gc(
+        older_than_seconds=args.older_than * 86400.0, dry_run=args.dry_run
+    )
+    verb = "would prune" if args.dry_run else "pruned"
+    print(
+        f"{verb} {len(summary['removed'])} run(s) older than "
+        f"{args.older_than:g} days from {ledger.root} ({summary['kept']} kept)"
+    )
+    for rid in summary["removed"]:
+        print(f"  {rid}")
+    return 0
+
+
+def _bench_record(args) -> int:
+    from .obs import history
+
+    try:
+        entry = history.record_history_entry(
+            args.results,
+            metrics_path=args.metrics,
+            history_path=args.history,
+            note=args.note,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"cannot record {args.results}: {exc}", file=sys.stderr)
+        return 2
+    path = args.history if args.history is not None else history.DEFAULT_HISTORY
+    print(f"recorded {entry['source']} ({len(entry['series'])} series) -> {path}")
+    return 0
+
+
+def _bench_compare(args) -> int:
+    from .obs import history
+
+    path = args.history if args.history is not None else history.DEFAULT_HISTORY
+    report = history.compare_history(
+        path, source=args.source, threshold=args.threshold, window=args.window
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"history {path}: {report['entries']} entries, "
+            f"{report['compared']} of {report['groups']} group(s) compared "
+            f"(threshold {report['threshold']:.0%})"
+        )
+        for f in report["regressions"]:
+            print(
+                f"  REGRESSION {f['source']}: {f['metric']} "
+                f"{f['baseline']:.6g} -> {f['latest']:.6g} "
+                f"({f['change_pct']:+.1f}%)"
+            )
+        for f in report["improvements"]:
+            print(
+                f"  improved   {f['source']}: {f['metric']} "
+                f"{f['baseline']:.6g} -> {f['latest']:.6g} "
+                f"({f['change_pct']:+.1f}%)"
+            )
+        if not report["regressions"] and not report["improvements"]:
+            print("  no regressions or improvements beyond threshold")
+        if report["skipped"]:
+            print(
+                f"  {len(report['skipped'])} group(s) skipped "
+                "(fewer than 2 comparable entries)"
+            )
+    # report-only by default (docs/CI.md: wall-clock numbers are recorded,
+    # never asserted); --strict opts controlled environments into a gate
+    if report["regressions"] and args.strict:
+        return 1
     return 0
 
 
@@ -482,6 +765,12 @@ def main(argv=None) -> int:
         " worker-count-independent latency histograms; REPRO_METRICS is"
         " the env spelling)",
     )
+    sweep_run.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="skip the run ledger for this invocation (REPRO_RUN_LEDGER=0 is"
+        " the env spelling); the ledger never affects records either way",
+    )
     sweep_status = sweep_sub.add_parser("status", help="inspect a store / spec")
     sweep_status.add_argument("spec", nargs="?", type=Path, default=None)
     sweep_status.add_argument("--store", type=Path, default=None, metavar="DIR")
@@ -521,6 +810,58 @@ def main(argv=None) -> int:
     sweep_clear = sweep_sub.add_parser("clear", help="delete every stored record")
     sweep_clear.add_argument("--store", type=Path, default=None, metavar="DIR")
     sweep_clear.add_argument("--yes", action="store_true")
+    sweep_watch = sweep_sub.add_parser(
+        "watch",
+        help="tail a live (or finished) run from its ledger: per-point"
+        " progress and an ETA from the commit-ahead batch log plus the"
+        " adaptive next-batch plan (read-only)",
+    )
+    sweep_watch.add_argument(
+        "run_id", nargs="?", default=None, help="run id from `repro runs list`"
+    )
+    sweep_watch.add_argument(
+        "--latest", action="store_true", help="watch the most recent run"
+    )
+    sweep_watch.add_argument("--store", type=Path, default=None, metavar="DIR")
+    sweep_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period while the run is live (default 2s)",
+    )
+    sweep_watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit even if the run is still live",
+    )
+
+    runsp = sub.add_parser(
+        "runs", help="run-ledger provenance (docs/OBSERVABILITY.md)"
+    )
+    runs_sub = runsp.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--store", type=Path, default=None, metavar="DIR")
+    runs_list.add_argument("--format", choices=("text", "json"), default="text")
+    runs_show = runs_sub.add_parser(
+        "show", help="one run's manifest, event counts and per-point outcome"
+    )
+    runs_show.add_argument(
+        "run_id", nargs="?", default=None, help="run id from `repro runs list`"
+    )
+    runs_show.add_argument(
+        "--latest", action="store_true", help="show the most recent run"
+    )
+    runs_show.add_argument("--store", type=Path, default=None, metavar="DIR")
+    runs_show.add_argument("--format", choices=("text", "json"), default="text")
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune run directories older than a horizon"
+    )
+    runs_gc.add_argument(
+        "--older-than", type=float, required=True, metavar="DAYS",
+        help="prune runs finished (or last active) more than this many days ago",
+    )
+    runs_gc.add_argument("--store", type=Path, default=None, metavar="DIR")
+    runs_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be pruned without deleting anything",
+    )
 
     tracep = sub.add_parser(
         "trace",
@@ -534,6 +875,74 @@ def main(argv=None) -> int:
     )
     trace_summarize.add_argument("file", type=Path, help="Chrome trace JSON file")
     trace_summarize.add_argument("--format", choices=("text", "json"), default="text")
+
+    metricsp = sub.add_parser(
+        "metrics",
+        help="observability metrics utilities (docs/OBSERVABILITY.md)",
+    )
+    metrics_sub = metricsp.add_subparsers(dest="metrics_command", required=True)
+    metrics_summarize = metrics_sub.add_parser(
+        "summarize",
+        help="counters and per-span p50/p95/p99 from a repro.obs.metrics/v1"
+        " snapshot written by `sweep run --metrics-out`",
+    )
+    metrics_summarize.add_argument("file", type=Path, help="metrics snapshot JSON")
+    metrics_summarize.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+
+    benchp = sub.add_parser(
+        "bench",
+        help="benchmark perf-trajectory history (docs/CI.md: report-only in"
+        " CI; --strict for controlled environments)",
+    )
+    bench_sub = benchp.add_subparsers(dest="bench_command", required=True)
+    bench_record = bench_sub.add_parser(
+        "record",
+        help="fold one benchmark results JSON (+ optional metrics snapshot)"
+        " into the append-only history",
+    )
+    bench_record.add_argument("results", type=Path, help="benchmark results JSON")
+    bench_record.add_argument(
+        "--metrics", type=Path, default=None, metavar="FILE",
+        help="also record span p50/p95/p99 from this metrics snapshot",
+    )
+    bench_record.add_argument(
+        "--history", type=Path, default=None, metavar="FILE",
+        help="history JSONL (default benchmarks/history/history.jsonl)",
+    )
+    bench_record.add_argument(
+        "--note", default=None, help="free-form annotation stored on the entry"
+    )
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="flag relative regressions of each source's latest entry vs its"
+        " trailing baseline (report-only unless --strict)",
+    )
+    bench_compare.add_argument(
+        "--history", type=Path, default=None, metavar="FILE",
+        help="history JSONL (default benchmarks/history/history.jsonl)",
+    )
+    bench_compare.add_argument(
+        "--source", default=None, metavar="NAME",
+        help="compare only entries recorded from this results file name",
+    )
+    bench_compare.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="relative change that counts as a regression (default 0.25)",
+    )
+    bench_compare.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="baseline = median of up to N prior entries (default 5)",
+    )
+    bench_compare.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when regressions are found (off by default: CI"
+        " records and reports wall-clock trends, never asserts them)",
+    )
+    bench_compare.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
 
     runp = sub.add_parser("run", help="run one driver (or 'all')")
     runp.add_argument("figure", help="driver key from 'list', or 'all'")
@@ -581,11 +990,28 @@ def main(argv=None) -> int:
             return _sweep_run(args)
         if args.sweep_command == "status":
             return _sweep_status(args)
+        if args.sweep_command == "watch":
+            return _sweep_watch(args)
         if args.sweep_command == "export":
             return _sweep_export(args)
         if args.sweep_command == "gc":
             return _sweep_gc(args)
         return _sweep_clear(args)
+
+    if args.command == "runs":
+        if args.runs_command == "list":
+            return _runs_list(args)
+        if args.runs_command == "show":
+            return _runs_show(args)
+        return _runs_gc(args)
+
+    if args.command == "metrics":
+        return _metrics_summarize(args)
+
+    if args.command == "bench":
+        if args.bench_command == "record":
+            return _bench_record(args)
+        return _bench_compare(args)
 
     if args.command == "trace":
         return _trace_summarize(args)

@@ -22,6 +22,8 @@ syndrome dedup, so a shard's cost scales with its *distinct* syndromes.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
@@ -53,8 +55,25 @@ __all__ = [
     "execute_tasks",
     "submit_task",
     "absorb_result_spans",
+    "pool_executor",
     "DEFAULT_NUM_SHARDS",
 ]
+
+
+def pool_executor(max_workers: int | None = None, **kwargs) -> ProcessPoolExecutor:
+    """The process pool every sweep path creates its workers on.
+
+    Honors ``REPRO_MP_START_METHOD`` (``fork``/``spawn``/``forkserver``) so
+    the spawn path — the only start method on some platforms, and the one
+    that exercises worker self-activation of :mod:`repro.obs` — is testable
+    everywhere; unset defers to the platform default.  Results are
+    bit-identical across start methods (workers only ever receive pickled
+    tasks and payloads).
+    """
+    method = os.environ.get("REPRO_MP_START_METHOD")
+    if method:
+        kwargs.setdefault("mp_context", multiprocessing.get_context(method))
+    return ProcessPoolExecutor(max_workers=max_workers, **kwargs)
 
 #: worker-process cache: pipeline key -> decode-ready pipeline, installed by
 #: :func:`warm_worker` (pool initializer) so shard workers skip circuit
@@ -192,6 +211,9 @@ def _run_task(task: SweepTask) -> LerResult:
     # analyses this task actually triggered in this process (0 when served
     # from the warm handoff or the in-process pipeline LRU)
     result.decode_stats["pipeline_analyses"] = _ler.PIPELINE_ANALYSES - analyses_before
+    # which process decoded this batch — run-ledger provenance only.  Not in
+    # BATCH_STAT_KEYS, so batch_stats() drops it before anything is stored.
+    result.decode_stats["worker_pid"] = os.getpid()
     if spans.events:
         result.obs_spans = spans.events
     return result
@@ -264,7 +286,7 @@ def run_sweep_parallel(
         if payloads:
             blobs = tuple(pickle.dumps(p) for p in payloads)
             kwargs = {"initializer": warm_worker, "initargs": (blobs,)}
-        with ProcessPoolExecutor(max_workers=max_workers, **kwargs) as pool:
+        with pool_executor(max_workers, **kwargs) as pool:
             results = list(pool.map(_run_task, tasks))
     absorb_result_spans(results)
     return results

@@ -61,6 +61,7 @@ import numpy as np
 from .. import obs
 from ..core.policies import PolicyNotApplicableError, make_policy
 from ..noise.hardware import PRESETS, HardwareConfig
+from ..obs import ledger as _oledger
 from ..store import ResultStore, batch_entropy, point_key
 from . import ler as _ler
 from .ler import SurgeryLerConfig
@@ -68,6 +69,7 @@ from .parallel import (
     SweepTask,
     absorb_result_spans,
     execute_tasks,
+    pool_executor,
     run_sweep_parallel,
     submit_task,
 )
@@ -317,6 +319,8 @@ class SweepReport:
     interrupted: bool = False
     #: speculation depth this pass ran with (0 = sequential scheduler)
     speculate: int = 0
+    #: run-ledger id of this invocation (None when the ledger is disabled)
+    run_id: str | None = None
     #: batches served from the commit-ahead log instead of being decoded
     batches_replayed: int = 0
     #: batches decoded by this pass but excluded from the estimates (the
@@ -354,6 +358,7 @@ class SweepReport:
             "speculate": self.speculate,
             "batches_replayed": self.batches_replayed,
             "batches_overshoot": self.batches_overshoot,
+            "run_id": self.run_id,
         }
 
 
@@ -460,7 +465,8 @@ class _ConcurrentPoint:
         #: index -> shots the batch was dispatched/replayed at (for the
         #: max_shots projection that bounds speculation)
         self.sizes: dict = {}
-        #: index -> (batch record, replayed) completed but not yet applied
+        #: index -> (batch record, replayed, worker pid) completed but not
+        #: yet applied (the pid is ledger provenance, never stored)
         self.pending: dict = {}
         #: indices discarded at a stale speculative size, to re-dispatch
         self.redo: set = set()
@@ -488,6 +494,7 @@ class _SweepRun:
         speculate: int = 0,
         batch_limit: int | None = None,
         progress=None,
+        ledger=None,
     ):
         if speculate < 0:
             raise ValueError("speculate must be non-negative")
@@ -498,6 +505,9 @@ class _SweepRun:
         self.speculate = speculate
         self.budget = _BatchBudget(batch_limit)
         self.progress = progress or (lambda msg: None)
+        #: run-ledger writer — pure observation (events, heartbeats); a
+        #: no-op writer when the ledger is off, so call sites stay branchless
+        self.ledger = ledger if ledger is not None else _oledger.NULL_RUN_WRITER
         self.report = SweepReport(spec=spec, speculate=speculate)
         #: one pool for the whole run (lazily created): workers warm
         #: themselves per configuration from the tasks' payload blobs, so
@@ -552,7 +562,7 @@ class _SweepRun:
         if self.workers == 1:
             return run_sweep_parallel(tasks, max_workers=1, payloads=[payload])
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = pool_executor(self.workers)
         # the sequential scheduler's round barrier: the coordinator blocks
         # here until the whole round returns (cf. sweep.idle in _await_some)
         with obs.span("sweep.idle", lambda: {"inflight": len(tasks)}):
@@ -668,6 +678,9 @@ class _SweepRun:
         record.update(converged=True, stop_reason=reason, updated_at=_wallclock())
         self.store.put(key, record)
         self.store.delete_batches(key, below=record["batches"])
+        self.ledger.point_converged(
+            key, stop_reason=reason, shots=record["shots"], batches=record["batches"]
+        )
 
     def _committed_batch(self, key: str, index: int, nobs: int) -> dict | None:
         """A structurally valid commit-ahead batch record, or None.
@@ -725,7 +738,16 @@ class _SweepRun:
         spec = self.spec
         key, record, payload, resolved = self._prepare_point(pt)
         if resolved:
+            self.ledger.point_store_served(
+                key, status=record.get("status"), shots=record.get("shots", 0)
+            )
             return self._outcome(pt, key, record)
+        self.ledger.point_start(
+            key,
+            config=record.get("config"),
+            shots=record.get("shots", 0),
+            max_shots=spec.max_shots,
+        )
 
         # pickled once per point; reused by every batch task of this point
         blob = pickle.dumps(payload) if self.workers > 1 else None
@@ -750,6 +772,7 @@ class _SweepRun:
                 if br is not None and int(br["shots"]) == size:
                     self._apply_batch(record, br, replayed=True)
                     self.report.batches_replayed += 1
+                    self.ledger.batch(key, index, int(br["shots"]), "replayed")
                     self._checkpoint(key, record)
                     continue
             remaining = max(1, -(-(spec.max_shots - record["shots"]) // size))
@@ -760,27 +783,43 @@ class _SweepRun:
                 record.update(updated_at=_wallclock())
                 self.store.put(key, record)
                 break
+            first_index = record["batches"]
             results = self._run_batches(
                 payload, blob, pt, key, record["batches"], allowed, size
             )
             self.budget.spend(allowed)
-            for res in results:
+            discard = False
+            for offset, res in enumerate(results):
                 if res is None:
                     continue
-                if res.shots != self._planned_batch_shots(record):
+                if not discard and res.shots != self._planned_batch_shots(record):
                     # adaptive sizing grew the plan mid-round: this batch
                     # (and the rest of the round) was dispatched at a stale
                     # size, so it is discarded and re-decoded at the planned
                     # size — the applied (index, size) sequence is a pure
                     # function of the prefix, independent of worker count
-                    break
+                    discard = True
+                if discard:
+                    # decoded but never applied (stale size, or the stopping
+                    # rule fired earlier in the round) — ledger bookkeeping
+                    # only, the record is untouched
+                    self.ledger.batch(
+                        key, first_index + offset, res.shots, "overshoot",
+                        worker_pid=res.decode_stats.get("worker_pid"),
+                    )
+                    continue
                 self._apply_batch(record, self._batch_record_of(res), replayed=False)
+                self.ledger.batch(
+                    key, first_index + offset, res.shots, "decoded",
+                    worker_pid=res.decode_stats.get("worker_pid"),
+                )
                 new_shots += res.shots
                 new_batches += 1
                 done, _ = _converged(record["failures"], record["shots"], spec)
                 if done:
-                    break  # later batches of this round are discarded
+                    discard = True  # later batches of this round are discarded
             self._checkpoint(key, record)
+            self.ledger.maybe_heartbeat()
         self.report.shots_decoded += new_shots
         self.report.batches_decoded += new_batches
         return self._outcome(pt, key, record, new_shots=new_shots)
@@ -806,7 +845,7 @@ class _SweepRun:
         """
         depth = max(1, self.speculate)
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = pool_executor(self.workers)
         queue = list(points)
         order: list[_ConcurrentPoint] = []  # emission order = sweep order
         active: list[_ConcurrentPoint] = []
@@ -834,7 +873,16 @@ class _SweepRun:
                 order.append(state)
                 if resolved:
                     state.finished = True
+                    self.ledger.point_store_served(
+                        key, status=record.get("status"), shots=record.get("shots", 0)
+                    )
                     continue
+                self.ledger.point_start(
+                    key,
+                    config=record.get("config"),
+                    shots=record.get("shots", 0),
+                    max_shots=self.spec.max_shots,
+                )
                 active.append(state)
                 self._dispatch_point(state, depth, futures)
             for state in active:
@@ -881,6 +929,7 @@ class _SweepRun:
         for fut in done:
             state, index = futures.pop(fut)
             self._receive(state, index, fut.result())
+        self.ledger.maybe_heartbeat(inflight=len(futures))
 
     def _dispatch_point(self, state: _ConcurrentPoint, depth: int, futures: dict) -> None:
         """Fill one point's speculation window (replays count for free)."""
@@ -905,7 +954,7 @@ class _SweepRun:
                     state.key, index, len(record["failures"])
                 )
                 if br is not None:
-                    state.pending[index] = (br, True)
+                    state.pending[index] = (br, True, None)
                     state.sizes[index] = int(br["shots"])
                     state.redo.discard(index)
                     if index == state.next_index:
@@ -936,6 +985,7 @@ class _SweepRun:
         br = self._batch_record_of(result)
         self.store.put_batch(state.key, index, br)
         state.inflight.pop(index, None)
+        worker_pid = result.decode_stats.get("worker_pid")
         if state.finished:
             # speculative overshoot: the stopping rule fired while this
             # batch was decoding; committed above, excluded from estimates
@@ -943,8 +993,12 @@ class _SweepRun:
             self.report.batches_overshoot += 1
             obs.event("sweep.overshoot", lambda: {"index": index})
             obs.count("sweep.batches_overshoot")
+            self.ledger.batch(
+                state.key, index, int(br["shots"]), "overshoot",
+                worker_pid=worker_pid,
+            )
         else:
-            state.pending[index] = (br, False)
+            state.pending[index] = (br, False, worker_pid)
 
     def _drain(self, active: list[_ConcurrentPoint]) -> bool:
         """Apply in-order pending batches; finish converged points."""
@@ -959,11 +1013,15 @@ class _SweepRun:
                 done, reason = _converged(record["failures"], record["shots"], spec)
                 if done:
                     self._finalize_point(state.key, record, reason)
-                    for idx, (_, replayed) in state.pending.items():
+                    for idx, (pbr, replayed, ppid) in state.pending.items():
                         state.sizes.pop(idx, None)
                         if not replayed:
                             self.report.batches_overshoot += 1
                             obs.count("sweep.batches_overshoot")
+                            self.ledger.batch(
+                                state.key, idx, int(pbr["shots"]), "overshoot",
+                                worker_pid=ppid,
+                            )
                     state.pending.clear()
                     state.finished = True
                     progressed = True
@@ -972,7 +1030,7 @@ class _SweepRun:
                 entry = state.pending.pop(index, None)
                 if entry is None:
                     break  # next batch still in flight (or not dispatched)
-                br, replayed = entry
+                br, replayed, worker_pid = entry
                 state.sizes.pop(index, None)
                 if int(br["shots"]) != self._planned_batch_shots(record):
                     # stale speculative size: adaptive sizing grew the plan
@@ -987,13 +1045,22 @@ class _SweepRun:
                     if not replayed:
                         self.report.batches_overshoot += 1
                         obs.count("sweep.batches_overshoot")
+                        self.ledger.batch(
+                            state.key, index, int(br["shots"]), "overshoot",
+                            worker_pid=worker_pid,
+                        )
                     continue
                 self._apply_batch(record, br, replayed=replayed)
                 if replayed:
                     self.report.batches_replayed += 1
+                    self.ledger.batch(state.key, index, int(br["shots"]), "replayed")
                 else:
                     state.new_shots += int(br["shots"])
                     state.new_batches += 1
+                    self.ledger.batch(
+                        state.key, index, int(br["shots"]), "decoded",
+                        worker_pid=worker_pid,
+                    )
                 applied = True
                 progressed = True
             if applied and not state.finished:
@@ -1052,6 +1119,7 @@ def run_sweep(
     speculate: int = 0,
     batch_limit: int | None = None,
     progress=None,
+    ledger=None,
 ) -> SweepReport:
     """Run (or continue) every point of ``spec`` against ``store``.
 
@@ -1068,7 +1136,23 @@ def run_sweep(
     ``batch_limit`` caps how many *new* batches this invocation decodes (the
     interruption hook used by tests and the microbenchmark); when the cap is
     hit the partial state is checkpointed and ``report.interrupted`` is set.
+
+    ``ledger`` controls the run ledger (:mod:`repro.obs.ledger`): ``None``
+    defers to ``REPRO_RUN_LEDGER`` (default on), ``False`` disables it,
+    ``True`` forces it, and a :class:`~repro.obs.ledger.RunWriter` instance
+    is used as-is (tests pin heartbeat pacing this way).  The ledger is pure
+    observation — records and estimates are bit-identical with it on or off.
     """
+    writer = None
+    if ledger is None:
+        ledger = _oledger.ledger_env_enabled()
+    if isinstance(ledger, _oledger.RunWriter):
+        writer = ledger
+    elif ledger:
+        writer = _oledger.RunWriter(
+            store.runs_root,
+            _oledger.sweep_manifest(spec, workers=workers, speculate=speculate),
+        )
     run = _SweepRun(
         spec,
         store,
@@ -1077,7 +1161,11 @@ def run_sweep(
         speculate=speculate,
         batch_limit=batch_limit,
         progress=progress,
+        ledger=writer,
     )
+    if writer is not None:
+        run.report.run_id = writer.run_id
+    status = "error"
     try:
         if speculate > 0:
             run.run_concurrent(spec.points())
@@ -1087,8 +1175,14 @@ def run_sweep(
                     run.report.interrupted = True
                     break
                 run.run_point(pt)
+        status = "interrupted" if run.report.interrupted else "ok"
     finally:
         run.close()
+        if writer is not None:
+            rec = obs.active()
+            metrics = obs.metrics_snapshot(rec) if rec is not None else None
+            summary = run.report.summary() if status != "error" else None
+            writer.finish(status, summary=summary, metrics=metrics)
     return run.report
 
 

@@ -3,10 +3,12 @@
 Span instrumentation (sample → dedup → kernel decode → cache → store
 commit; dispatch/apply/replay/overshoot/idle in the sweep schedulers),
 worker-count-independent latency histograms, and Chrome-trace/metrics
-exporters.  Zero-overhead when disabled; observability output never enters
-store keys or prediction-affecting record fields (see
-docs/OBSERVABILITY.md for the span catalogue and the bit-identity
-contract).
+exporters.  Phase 2 adds cross-run surfaces: a durable run ledger
+(:mod:`.ledger` — manifests + event logs under ``runs/`` in the store) and
+a benchmark perf-trajectory history (:mod:`.history`).  Zero-overhead when
+disabled; observability output never enters store keys or
+prediction-affecting record fields (see docs/OBSERVABILITY.md for the span
+catalogue, run-ledger schema and the bit-identity contract).
 """
 
 from .core import (
@@ -36,9 +38,27 @@ from .export import (
     metrics_snapshot,
     phase_totals,
     summarize,
+    summarize_metrics,
     summarize_trace,
     write_metrics,
     write_trace,
+)
+from .history import (
+    HISTORY_SCHEMA,
+    compare_history,
+    load_history,
+    provenance_meta,
+    record_history_entry,
+)
+from .ledger import (
+    NULL_RUN_WRITER,
+    RUN_SCHEMA,
+    RunLedger,
+    RunWriter,
+    ledger_env_enabled,
+    mint_run_id,
+    sweep_manifest,
+    watch_snapshot,
 )
 
 __all__ = [
@@ -66,7 +86,21 @@ __all__ = [
     "metrics_snapshot",
     "phase_totals",
     "summarize",
+    "summarize_metrics",
     "summarize_trace",
     "write_metrics",
     "write_trace",
+    "HISTORY_SCHEMA",
+    "compare_history",
+    "load_history",
+    "provenance_meta",
+    "record_history_entry",
+    "NULL_RUN_WRITER",
+    "RUN_SCHEMA",
+    "RunLedger",
+    "RunWriter",
+    "ledger_env_enabled",
+    "mint_run_id",
+    "sweep_manifest",
+    "watch_snapshot",
 ]

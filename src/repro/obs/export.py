@@ -241,3 +241,33 @@ def load_metrics(path) -> dict:
     for name, entry in data.get("histograms", {}).items():
         LatencyHistogram.from_dict(entry)  # raises on malformed entries
     return data
+
+
+def summarize_metrics(path) -> dict:
+    """Counters + per-span percentile rows of a metrics snapshot file.
+
+    The rows carry the same columns as :func:`summarize` (so
+    :func:`format_summary` renders both), but percentiles come from the
+    snapshot's fixed-bucket histograms — bucket upper bounds, not exact
+    durations, which is the precision the metrics schema stores.  The CLI
+    surface is ``repro metrics summarize``.
+    """
+    data = load_metrics(path)
+    rows = []
+    for name, entry in data.get("histograms", {}).items():
+        hist = LatencyHistogram.from_dict(entry)
+        if not hist.count:
+            continue
+        rows.append(
+            {
+                "name": name,
+                "count": hist.count,
+                "total_s": hist.sum_ns / 1e9,
+                "mean_us": hist.sum_ns / hist.count / 1000.0,
+                "p50_us": hist.percentile_ns(50) / 1000.0,
+                "p95_us": hist.percentile_ns(95) / 1000.0,
+                "p99_us": hist.percentile_ns(99) / 1000.0,
+            }
+        )
+    rows.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return {"counters": dict(sorted(data.get("counters", {}).items())), "rows": rows}

@@ -7,6 +7,9 @@ Layout under the store root::
         <key[:2]>/<key>.json            one record per point key
       batches/
         <key[:2]>/<key>/<index>.json    commit-ahead per-batch records
+      runs/
+        <run_id>/manifest.json          run-ledger provenance manifests
+        <run_id>/events.jsonl           run-ledger event logs (append-only)
 
 Each point record is one self-describing JSON object (failure counts, shots,
 batches consumed, convergence state, decode statistics and the canonical key
@@ -63,6 +66,16 @@ class ResultStore:
     def _batch_dir(self, key: str) -> Path:
         self._path(key)  # key validation
         return self.root / "batches" / key[:2] / key
+
+    @property
+    def runs_root(self) -> Path:
+        """Where the run ledger lives (``repro.obs.ledger``): ``runs/``.
+
+        Run directories are provenance *about* the store, not store data:
+        :meth:`clear` and :meth:`gc` never touch them (``repro runs gc``
+        prunes them on their own horizon).
+        """
+        return self.root / "runs"
 
     def _write_json(self, path: Path, record: dict) -> None:
         # every durable write (point checkpoint or commit-ahead batch) funnels

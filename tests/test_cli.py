@@ -516,3 +516,134 @@ def test_sweep_status_verbose_reports_decode_stats(capsys, tmp_path, sweep_spec_
     assert "decode_s=" in verbose
     assert "cache_hit_rate=" in verbose
     assert "shots_per_s=" in verbose
+    # per-point progress from the commit-ahead batch log (converged points
+    # report completion instead of an estimate)
+    assert "progress:" in verbose
+    assert "complete (" in verbose
+
+
+# ---------------------------------------------------------------------------
+# run ledger: sweep run mints a run id; runs list/show/gc; sweep watch
+# ---------------------------------------------------------------------------
+
+
+def _run_with_ledger(tmp_path, sweep_spec_file, capsys):
+    store = tmp_path / "store"
+    assert cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    summary = json.loads(out[out.index("{") : out.rindex("}") + 1])
+    assert summary["run_id"], "sweep run should mint a run id by default"
+    assert f"run {summary['run_id']} recorded" in out
+    assert "sweep watch" in out  # the follow-up hint names the watcher
+    return store, summary["run_id"]
+
+
+def test_sweep_run_records_run_and_runs_list_shows_it(capsys, tmp_path, sweep_spec_file):
+    store, run_id = _run_with_ledger(tmp_path, sweep_spec_file, capsys)
+    assert cli.main(["runs", "list", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert run_id in out and "cli-test" in out and "ok" in out
+
+    assert cli.main(["runs", "list", "--store", str(store), "--format", "json"]) == 0
+    (row,) = json.loads(capsys.readouterr().out)
+    assert row["run_id"] == run_id
+    assert row["status"] == "ok"
+    assert row["points"] == 1
+    assert row["shots_decoded"] == 800
+
+
+def test_sweep_run_no_ledger_flag_opts_out(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(store), "--no-ledger"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert '"run_id": null' in out
+    assert not (store / "runs").exists()
+    assert cli.main(["runs", "list", "--store", str(store)]) == 0
+    assert "no runs recorded" in capsys.readouterr().out
+
+
+def test_runs_show_reports_manifest_and_event_counts(capsys, tmp_path, sweep_spec_file):
+    store, run_id = _run_with_ledger(tmp_path, sweep_spec_file, capsys)
+    assert cli.main(["runs", "show", "--latest", "--store", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert f"run {run_id}" in out and "status=ok" in out
+    assert "spec_digest:" in out and "store_salt:" in out
+    assert "run_start=1" in out and "run_finish=1" in out
+
+    assert cli.main(
+        ["runs", "show", run_id, "--store", str(store), "--format", "json"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["manifest"]["run_id"] == run_id
+    assert doc["events"][0]["ev"] == "run_start"
+    assert doc["events"][-1]["ev"] == "run_finish"
+
+
+def test_runs_show_unknown_id_is_clean_error(capsys, tmp_path, sweep_spec_file):
+    store, _ = _run_with_ledger(tmp_path, sweep_spec_file, capsys)
+    assert cli.main(["runs", "show", "nope-123", "--store", str(store)]) == 2
+    assert "unknown run id" in capsys.readouterr().err
+    empty = tmp_path / "empty-store"
+    assert cli.main(["runs", "show", "--latest", "--store", str(empty)]) == 2
+    assert "no runs recorded" in capsys.readouterr().err
+
+
+def test_sweep_watch_once_renders_final_frame(capsys, tmp_path, sweep_spec_file):
+    store, run_id = _run_with_ledger(tmp_path, sweep_spec_file, capsys)
+    assert cli.main(
+        ["sweep", "watch", run_id, "--store", str(store), "--once"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert f"run {run_id}" in out and "status=ok" in out
+    assert "converged" in out and "shots=800/800" in out
+    assert "totals:" in out
+    # --latest resolves the same run (a finished run exits without --once too)
+    assert cli.main(["sweep", "watch", "--latest", "--store", str(store)]) == 0
+    assert f"run {run_id}" in capsys.readouterr().out
+
+
+def test_runs_gc_dry_run_then_prune(capsys, tmp_path, sweep_spec_file):
+    store, run_id = _run_with_ledger(tmp_path, sweep_spec_file, capsys)
+    assert cli.main(
+        ["runs", "gc", "--older-than", "0", "--store", str(store), "--dry-run"]
+    ) == 0
+    assert "would prune 1 run(s)" in capsys.readouterr().out
+    assert (store / "runs" / run_id).exists()
+    assert cli.main(["runs", "gc", "--older-than", "0", "--store", str(store)]) == 0
+    assert "pruned 1 run(s)" in capsys.readouterr().out
+    assert not (store / "runs" / run_id).exists()
+    # point records are provenance-independent: gc never touches them
+    from repro.store import ResultStore
+
+    assert len(ResultStore(store).keys()) == 1
+
+
+def test_metrics_summarize_prints_counters_and_spans(capsys, tmp_path, sweep_spec_file):
+    metrics = tmp_path / "m.json"
+    cli.main(
+        [
+            "sweep", "run", str(sweep_spec_file),
+            "--store", str(tmp_path / "store"),
+            "--metrics-out", str(metrics),
+        ]
+    )
+    capsys.readouterr()
+    assert cli.main(["metrics", "summarize", str(metrics)]) == 0
+    out = capsys.readouterr().out
+    assert "counters:" in out
+    assert "sweep.batches_applied" in out
+    for column in ("span", "count", "total_s", "p50_us", "p99_us"):
+        assert column in out
+
+    assert cli.main(["metrics", "summarize", str(metrics), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counters"]["sweep.batches_applied"] >= 1
+    assert any(r["count"] for r in doc["rows"])
+
+
+def test_metrics_summarize_missing_file_is_clean_error(capsys, tmp_path):
+    assert cli.main(["metrics", "summarize", str(tmp_path / "nope.json")]) == 2
+    assert "cannot summarize" in capsys.readouterr().err

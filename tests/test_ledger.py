@@ -1,0 +1,345 @@
+"""The run-ledger contract (docs/OBSERVABILITY.md, `repro.obs.ledger`).
+
+Four families of guarantees:
+
+* **Bit-neutrality** — the ledger records *about* a sweep without touching
+  it: stored point records are byte-identical with the ledger on vs. off,
+  across the sequential and speculative schedulers at 1 and 4 workers, and
+  a ledger-off run leaves no ``runs/`` directory at all.
+* **Accounting** — ledger batch events are emitted at exactly the sites
+  where the sweep report's counters increment, so totals always agree.
+* **Crash tolerance** — the event log is append-only; a torn tail line
+  (process killed mid-append) is skipped by every reader, never fatal.
+* **Worker provenance** — pool-decoded batches carry the worker's real
+  pid, including under the ``spawn`` start method where workers share no
+  state with the coordinator.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs
+from repro.experiments.parallel import reset_warm_state
+from repro.experiments.sweeps import (
+    PolicySpec,
+    SweepSpec,
+    record_parity_view,
+    run_sweep,
+)
+from repro.noise import GOOGLE
+from repro.obs import RunLedger, RunWriter, sweep_manifest, watch_snapshot
+from repro.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate(monkeypatch):
+    # ledger decisions must come from the test, not the ambient environment
+    monkeypatch.delenv("REPRO_RUN_LEDGER", raising=False)
+    monkeypatch.delenv("REPRO_MP_START_METHOD", raising=False)
+    obs.reset()
+    reset_warm_state()
+    yield
+    obs.reset()
+    reset_warm_state()
+
+
+def _spec(**overrides):
+    base = dict(
+        name="ledger-parity",
+        distances=(2,),
+        taus_ns=(500.0,),
+        policies=(PolicySpec("passive"), PolicySpec("active")),
+        hardware=GOOGLE,
+        seed=11,
+        batch_shots=400,
+        min_shots=400,
+        max_shots=1200,
+        target_rse=0.12,
+        p=5e-3,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def _records(report):
+    return {o.key: o.record for o in report.outcomes}
+
+
+def _pinned_writer(store, spec, **kwargs):
+    """A RunWriter with heartbeats always-on (interval 0) for inspection."""
+    return RunWriter(
+        store.runs_root,
+        sweep_manifest(spec, **kwargs),
+        heartbeat_interval=0.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# bit-neutrality: ledger on/off, across both schedulers
+# ---------------------------------------------------------------------------
+
+
+def test_ledger_bit_neutral_across_schedulers(tmp_path):
+    """{ledger on, off} x {sequential, --speculate 4} x {1, 4 workers}."""
+    spec = _spec()
+    store_ref = ResultStore(tmp_path / "ref")
+    reference = _records(run_sweep(spec, store_ref, ledger=False))
+    assert not store_ref.runs_root.exists()  # off really writes nothing
+
+    for speculate in (0, 4):
+        for workers in (1, 4):
+            reset_warm_state()
+            store = ResultStore(tmp_path / f"s{speculate}w{workers}")
+            report = run_sweep(
+                spec, store, workers=workers, speculate=speculate, ledger=True
+            )
+            got = _records(report)
+            assert got.keys() == reference.keys()
+            for key, ref in reference.items():
+                assert record_parity_view(got[key]) == record_parity_view(ref), (
+                    f"speculate={speculate} workers={workers}"
+                )
+            # the run really was recorded
+            ledger = RunLedger.for_store(store)
+            assert ledger.run_ids() == [report.run_id]
+            names = [ev["ev"] for ev in ledger.events(report.run_id)]
+            assert names[0] == "run_start" and names[-1] == "run_finish"
+
+
+def test_ledger_env_knob_disables_default(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_LEDGER", "0")
+    store = ResultStore(tmp_path / "s")
+    report = run_sweep(_spec(max_shots=400), store)  # ledger=None -> env
+    assert report.run_id is None
+    assert not store.runs_root.exists()
+
+
+def test_ledger_data_never_reaches_point_records(tmp_path):
+    """On-disk store diff: everything except runs/ identical with ledger on/off."""
+    spec = _spec(max_shots=800)
+    stores = {}
+    for tag, ledger in (("on", True), ("off", False)):
+        reset_warm_state()
+        store = ResultStore(tmp_path / tag)
+        run_sweep(spec, store, ledger=ledger)
+        stores[tag] = store
+
+    def payload(store):
+        out = {}
+        for sub in ("points", "batches"):
+            base = store.root / sub
+            for path in sorted(base.rglob("*.json")):
+                rec = json.loads(path.read_text())
+                # strip the wall-clock/scheduling-dependent fields parity
+                # ignores (decode_seconds, per-worker cache splits, ...)
+                if sub == "points":
+                    rec = record_parity_view(rec)
+                else:
+                    rec = {k: v for k, v in rec.items() if k != "decode_stats"}
+                out[str(path.relative_to(store.root))] = rec
+        return out
+
+    assert payload(stores["on"]) == payload(stores["off"])
+    assert (stores["on"].root / "runs").exists()
+    assert not (stores["off"].root / "runs").exists()
+
+
+# ---------------------------------------------------------------------------
+# accounting: ledger totals == report counters
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers,speculate", [(1, 0), (4, 4)])
+def test_ledger_batch_events_match_report_counters(tmp_path, workers, speculate):
+    spec = _spec()
+    store = ResultStore(tmp_path / "s")
+    writer = _pinned_writer(store, spec, workers=workers, speculate=speculate)
+    report = run_sweep(
+        spec, store, workers=workers, speculate=speculate, ledger=writer
+    )
+    events = RunLedger.for_store(store).events(report.run_id)
+    kinds = {"decoded": 0, "replayed": 0, "overshoot": 0}
+    shots = 0
+    for ev in events:
+        if ev["ev"] == "batch":
+            kinds[ev["kind"]] += 1
+            if ev["kind"] == "decoded":
+                shots += ev["shots"]
+    assert kinds["decoded"] == report.batches_decoded
+    assert kinds["replayed"] == report.batches_replayed
+    assert kinds["overshoot"] == report.batches_overshoot
+    assert shots == report.shots_decoded
+    converged = [ev for ev in events if ev["ev"] == "point_converged"]
+    assert len(converged) == len(report.outcomes)
+    assert any(ev["ev"] == "heartbeat" for ev in events)  # interval pinned to 0
+
+
+def test_store_served_points_are_ledgered_not_decoded(tmp_path):
+    spec = _spec(max_shots=400)
+    store = ResultStore(tmp_path / "s")
+    run_sweep(spec, store, ledger=False)
+    writer = _pinned_writer(store, spec)
+    report = run_sweep(spec, store, ledger=writer)
+    events = RunLedger.for_store(store).events(report.run_id)
+    names = [ev["ev"] for ev in events]
+    assert names.count("point_store_served") == len(report.outcomes)
+    assert "batch" not in names and "point_start" not in names
+
+
+# ---------------------------------------------------------------------------
+# manifest + reader surface
+# ---------------------------------------------------------------------------
+
+
+def test_manifest_captures_run_provenance(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DECODE_DEDUP", "1")
+    spec = _spec(max_shots=400)
+    store = ResultStore(tmp_path / "s")
+    report = run_sweep(spec, store, workers=1, speculate=0, ledger=True)
+    ledger = RunLedger.for_store(store)
+    manifest = ledger.manifest(report.run_id)
+    assert manifest["schema"] == "repro.obs.run/v1"
+    assert manifest["sweep"] == spec.name
+    assert manifest["workers"] == 1 and manifest["speculate"] == 0
+    assert manifest["seed"] == spec.seed
+    assert len(manifest["spec_digest"]) == 64
+    assert manifest["store_salt"]  # pinned to the store's key salt
+    assert manifest["backend_resolved"] in manifest["backends_available"]
+    assert manifest["env"]["REPRO_DECODE_DEDUP"] == "1"
+    # finished manifests carry the outcome
+    assert manifest["status"] == "ok"
+    assert manifest["summary"]["points"] == len(report.outcomes)
+    assert ledger.status(report.run_id) == "ok"
+    # same spec, two launches -> two distinct sortable run ids
+    report2 = run_sweep(spec, store, ledger=True)
+    assert report2.run_id != report.run_id
+    assert ledger.run_ids() == sorted(ledger.run_ids())
+
+
+def test_watch_snapshot_reports_progress_and_totals(tmp_path):
+    spec = _spec()
+    store = ResultStore(tmp_path / "s")
+    writer = _pinned_writer(store, spec)
+    report = run_sweep(spec, store, ledger=writer)
+    snap = watch_snapshot(store, report.run_id)
+    assert snap["run_id"] == report.run_id
+    assert snap["status"] == "ok"
+    assert snap["points_expected"] == len(report.outcomes)
+    assert {p["status"] for p in snap["points"]} == {"converged"}
+    for p in snap["points"]:
+        assert p["shots"] >= spec.min_shots
+        assert p["batches"] >= 1
+        assert "d=2" in p["label"]
+    assert snap["totals"]["decoded"] == report.batches_decoded
+    assert snap["eta_s"] is None  # finished runs advertise no ETA
+
+
+def test_gc_prunes_on_age_and_respects_dry_run(tmp_path):
+    spec = _spec(max_shots=400)
+    store = ResultStore(tmp_path / "s")
+    run_sweep(spec, store, ledger=True)
+    ledger = RunLedger.for_store(store)
+    (rid,) = ledger.run_ids()
+    finished = ledger.manifest(rid)["finished_at"]
+
+    kept = ledger.gc(older_than_seconds=3600.0, now=finished + 10.0)
+    assert kept["removed"] == [] and kept["kept"] == 1
+
+    dry = ledger.gc(older_than_seconds=5.0, now=finished + 10.0, dry_run=True)
+    assert dry["removed"] == [rid] and dry["dry_run"]
+    assert ledger.run_ids() == [rid]  # dry run deleted nothing
+
+    wet = ledger.gc(older_than_seconds=5.0, now=finished + 10.0)
+    assert wet["removed"] == [rid]
+    assert ledger.run_ids() == []
+
+
+# ---------------------------------------------------------------------------
+# crash tolerance: torn tail lines
+# ---------------------------------------------------------------------------
+
+
+def test_truncated_event_tail_is_skipped_not_fatal(tmp_path):
+    spec = _spec(max_shots=400)
+    store = ResultStore(tmp_path / "s")
+    report = run_sweep(spec, store, ledger=True)
+    ledger = RunLedger.for_store(store)
+    before = ledger.events(report.run_id)
+
+    events_path = store.runs_root / report.run_id / "events.jsonl"
+    with open(events_path, "a") as f:
+        f.write('{"ev": "heartbeat", "t": 99.9, "pi')  # killed mid-append
+
+    after = ledger.events(report.run_id)
+    assert after == before  # torn tail skipped, everything else intact
+    assert ledger.status(report.run_id) == "ok"
+    snap = watch_snapshot(store, report.run_id)
+    assert snap["status"] == "ok"
+
+
+def test_crashed_run_reads_as_running(tmp_path):
+    """A writer that never finishes (process died) is visible, not broken."""
+    spec = _spec(max_shots=400)
+    store = ResultStore(tmp_path / "s")
+    writer = _pinned_writer(store, spec)
+    writer.point_start("k" * 64, config={"d": 2, "tau_ns": 500.0}, shots=0)
+    writer.batch("k" * 64, 0, 400, "decoded", worker_pid=123)
+    # no finish(): simulate a crash
+    ledger = RunLedger.for_store(store)
+    assert ledger.status(writer.run_id) == "running"
+    manifest = ledger.manifest(writer.run_id)
+    assert manifest["status"] == "running"
+    assert "finished_at" not in manifest
+    names = [ev["ev"] for ev in ledger.events(writer.run_id)]
+    assert names[0] == "run_start" and "run_finish" not in names
+
+
+# ---------------------------------------------------------------------------
+# spawn start method: worker provenance crosses process boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_spawn_workers_report_spans_and_pids(tmp_path, monkeypatch):
+    if "spawn" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no spawn start method")
+    trace_path = tmp_path / "t.json"
+    monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+    # spawn workers re-import repro and self-activate recording from the env
+    monkeypatch.setenv("REPRO_TRACE", str(trace_path))
+    obs.reset()
+
+    spec = _spec(policies=(PolicySpec("passive"),), max_shots=800)
+    store = ResultStore(tmp_path / "s")
+    writer = _pinned_writer(store, spec, workers=2, speculate=2)
+    try:
+        report = run_sweep(spec, store, workers=2, speculate=2, ledger=writer)
+        events = list(obs.active().events)
+    finally:
+        obs.reset()
+
+    # worker spans crossed the spawn boundary into the merged timeline
+    assert {"decode.kernel", "sweep.dispatch"} <= {ev["name"] for ev in events}
+    assert len({ev["pid"] for ev in events}) >= 2
+
+    ledger_events = RunLedger.for_store(store).events(report.run_id)
+    decoded = [
+        ev for ev in ledger_events
+        if ev["ev"] == "batch" and ev["kind"] == "decoded"
+    ]
+    assert decoded
+    worker_pids = {ev.get("worker_pid") for ev in decoded} - {None}
+    assert worker_pids and os.getpid() not in worker_pids
+    assert report.batches_decoded == len(decoded)
+    # parity still holds under spawn
+    reset_warm_state()
+    monkeypatch.delenv("REPRO_MP_START_METHOD", raising=False)
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    obs.reset()
+    reference = _records(run_sweep(spec, ResultStore(tmp_path / "ref"), ledger=False))
+    got = _records(report)
+    assert got.keys() == reference.keys()
+    for key, ref in reference.items():
+        assert record_parity_view(got[key]) == record_parity_view(ref)

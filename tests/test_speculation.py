@@ -316,7 +316,9 @@ def test_redo_dispatch_not_blocked_by_stale_pending_near_shot_cap(tmp_path):
     record.update(shots=800, batches=2, batch_shots_next=800)
     # batch 4 in flight at the grown size, batch 3 completed at the stale
     # size, batch 2 discarded as stale and awaiting re-dispatch
-    state.pending[3] = ({"shots": 400, "failures": [1] * len(record["failures"])}, False)
+    state.pending[3] = (
+        {"shots": 400, "failures": [1] * len(record["failures"])}, False, None
+    )
     state.inflight[4] = Future()
     state.sizes.update({3: 400, 4: 800})
     state.redo.add(2)
@@ -361,7 +363,7 @@ def test_stale_discard_counts_as_progress(tmp_path):
     record.update(shots=800, batches=2, batch_shots_next=800)  # plan grew
     nobs = len(record["failures"])
     for index in (2, 3, 4):  # completed at the stale size, none in flight
-        state.pending[index] = ({"shots": 400, "failures": [0] * nobs}, False)
+        state.pending[index] = ({"shots": 400, "failures": [0] * nobs}, False, None)
         state.sizes[index] = 400
     state.next_index = 5
     try:

@@ -189,3 +189,134 @@ def test_obs_flags_compose_with_directory_validation(results_dir, tmp_path, caps
     assert rc == 0
     out = capsys.readouterr().out
     assert "0 invalid" in out
+
+
+# ---------------------------------------------------------------------------
+# run ledger + perf history: --ledger / --history (docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+
+def _write_valid_rundir(tmp_path, run_id="20260808T120000Z-deadbeef"):
+    rundir = tmp_path / "runs" / run_id
+    rundir.mkdir(parents=True)
+    (rundir / "manifest.json").write_text(json.dumps({
+        "schema": validate_results.RUN_SCHEMA,
+        "run_id": run_id,
+        "sweep": "unit",
+        "spec_digest": "ab" * 32,
+        "store_salt": "repro-store-v2",
+        "status": "ok",
+        "created_at": 1.0,
+    }))
+    (rundir / "events.jsonl").write_text(
+        json.dumps({"ev": "run_start", "t": 1.0, "pid": 1}) + "\n"
+        + json.dumps({"ev": "batch", "t": 2.0, "pid": 1, "kind": "decoded"}) + "\n"
+        + json.dumps({"ev": "run_finish", "t": 3.0, "pid": 1, "status": "ok"}) + "\n"
+    )
+    return rundir
+
+
+def test_ledger_valid_rundir_passes(tmp_path, capsys):
+    rundir = _write_valid_rundir(tmp_path)
+    assert validate_results.main(["--ledger", str(rundir)]) == 0
+    assert "0 problems" in capsys.readouterr().out
+
+
+def test_ledger_torn_tail_line_is_tolerated(tmp_path, capsys):
+    # a crash mid-append leaves a truncated final line: not a failure
+    rundir = _write_valid_rundir(tmp_path)
+    with open(rundir / "events.jsonl", "a") as f:
+        f.write('{"ev": "heartbeat", "t": 4.0, "pi')
+    assert validate_results.main(["--ledger", str(rundir)]) == 0
+
+
+def test_ledger_garbage_mid_log_rejected(tmp_path, capsys):
+    rundir = _write_valid_rundir(tmp_path)
+    lines = (rundir / "events.jsonl").read_text().splitlines()
+    lines.insert(1, "not json at all")
+    (rundir / "events.jsonl").write_text("\n".join(lines) + "\n")
+    assert validate_results.main(["--ledger", str(rundir)]) == 1
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_ledger_manifest_problems_rejected(tmp_path, capsys):
+    rundir = _write_valid_rundir(tmp_path)
+    manifest = json.loads((rundir / "manifest.json").read_text())
+    del manifest["spec_digest"]
+    manifest["schema"] = "nope/v0"
+    (rundir / "manifest.json").write_text(json.dumps(manifest))
+    assert validate_results.main(["--ledger", str(rundir)]) == 1
+    err = capsys.readouterr().err
+    assert "schema" in err and "spec_digest" in err
+
+
+def test_ledger_event_shape_problems_rejected(tmp_path, capsys):
+    rundir = _write_valid_rundir(tmp_path)
+    (rundir / "events.jsonl").write_text(
+        json.dumps({"ev": "batch", "t": 1.0, "pid": 1}) + "\n"   # not run_start
+        + json.dumps({"ev": "warp_core_breach", "t": 2.0}) + "\n"
+        + json.dumps({"t": 3.0}) + "\n"                           # no ev
+    )
+    assert validate_results.main(["--ledger", str(rundir)]) == 1
+    err = capsys.readouterr().err
+    assert "expected 'run_start'" in err
+    assert "unknown event" in err
+    assert "ev/t" in err
+
+
+def test_ledger_missing_rundir_rejected(tmp_path, capsys):
+    assert validate_results.main(["--ledger", str(tmp_path / "nope")]) == 1
+    assert "unreadable" in capsys.readouterr().err
+
+
+def _write_valid_history(tmp_path):
+    path = tmp_path / "history.jsonl"
+    entry = {
+        "schema": validate_results.HISTORY_SCHEMA,
+        "source": "decode_throughput.json",
+        "meta": {"python": "3.12.0", "cpu_count": 4},
+        "manifest_key": "ab" * 8,
+        "series": {"dedup_shots_per_sec": 100000.0},
+    }
+    path.write_text(json.dumps(entry) + "\n" + json.dumps(entry) + "\n")
+    return path
+
+
+def test_history_valid_file_passes(tmp_path, capsys):
+    path = _write_valid_history(tmp_path)
+    assert validate_results.main(["--history", str(path)]) == 0
+    assert "0 problems" in capsys.readouterr().out
+
+
+def test_history_torn_tail_is_tolerated(tmp_path):
+    path = _write_valid_history(tmp_path)
+    with open(path, "a") as f:
+        f.write('{"schema": "repro.bench.hist')
+    assert validate_results.main(["--history", str(path)]) == 0
+
+
+def test_history_bad_entries_rejected(tmp_path, capsys):
+    path = tmp_path / "history.jsonl"
+    path.write_text(
+        json.dumps({
+            "schema": "nope/v0",
+            "source": "",
+            "meta": [],
+            "manifest_key": 7,
+            "series": {"rate": "fast", "t": 1.0},
+        }) + "\n"
+    )
+    assert validate_results.main(["--history", str(path)]) == 1
+    err = capsys.readouterr().err
+    assert "schema" in err
+    assert "source" in err
+    assert "meta" in err
+    assert "manifest_key" in err
+    assert "not a number" in err
+
+
+def test_history_empty_file_rejected(tmp_path, capsys):
+    path = tmp_path / "history.jsonl"
+    path.write_text("")
+    assert validate_results.main(["--history", str(path)]) == 1
+    assert "no parseable history entries" in capsys.readouterr().err
