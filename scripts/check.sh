@@ -78,11 +78,44 @@ python -m repro.cli runs show --latest --store "$OBS_TMP/store" > /dev/null
 python -m repro.cli sweep watch "$RUN_ID" --store "$OBS_TMP/store" --once > /dev/null
 python scripts/validate_results.py --ledger "$OBS_TMP/store/runs/$RUN_ID"
 echo "obs smoke: run ledger ($RUN_ID) list/show/watch + schema validation ok"
-# perf-history smoke (docs/CI.md): fold a results file into a throwaway
-# history, compare report-only, and schema-check the JSONL
+# sweep scheduler smoke (docs/SWEEPS.md): --dry-run must plan the finished
+# check-ledger sweep as zero new work without writing anything, and the
+# inline executor (--workers 0 --speculate) must rerun it purely from the
+# store (a real inline decode is covered by tests/test_speculation.py)
+cat > "$OBS_TMP/check-ledger-spec.json" <<'EOF'
+{
+  "name": "check-ledger",
+  "hardware": "google",
+  "distances": [2],
+  "taus_ns": [500.0],
+  "policies": ["passive"],
+  "p": 0.005,
+  "seed": 11,
+  "batch_shots": 200,
+  "min_shots": 200,
+  "max_shots": 400,
+  "target_rse": 0.5
+}
+EOF
+STORE_BEFORE="$(find "$OBS_TMP/store" -type f | sort | xargs md5sum)"
+python -m repro.cli sweep run "$OBS_TMP/check-ledger-spec.json" \
+  --store "$OBS_TMP/store" --dry-run \
+  | grep "0/1 point(s) need decoding" > /dev/null
+[ "$STORE_BEFORE" = "$(find "$OBS_TMP/store" -type f | sort | xargs md5sum)" ] \
+  || { echo "sweep smoke: --dry-run wrote to the store" >&2; exit 1; }
+python -m repro.cli sweep run "$OBS_TMP/check-ledger-spec.json" \
+  --store "$OBS_TMP/store" --workers 0 --speculate 2 --no-ledger \
+  | grep '"shots_decoded": 0' > /dev/null
+echo "sweep smoke: --dry-run read-only + inline executor store-served rerun ok"
+# perf-history smoke (docs/CI.md): fold results files into a throwaway
+# history, compare report-only, and schema-check the JSONL.  The speculation
+# benchmark rides along so its ratio metrics (speedup*, *_ratio, *_x —
+# direction-inferred as higher-is-better) are watched on every push.
 python -m repro.cli bench record benchmarks/results/decode_throughput.json \
   --history "$OBS_TMP/history.jsonl" --note "check.sh smoke" > /dev/null
-python -m repro.cli bench compare --history "$OBS_TMP/history.jsonl" > /dev/null
+python -m repro.cli bench record benchmarks/results/sweep_speculation.json \
+  --history "$OBS_TMP/history.jsonl" --note "check.sh smoke" > /dev/null
+python -m repro.cli bench compare --history "$OBS_TMP/history.jsonl"
 python scripts/validate_results.py --history "$OBS_TMP/history.jsonl"
 echo "obs smoke: bench record/compare + history schema validation ok"
 if [ -z "${OBS_ARTIFACTS_DIR:-}" ]; then

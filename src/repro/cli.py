@@ -186,7 +186,7 @@ def _resolve_store(path):
 
 
 def _sweep_run(args) -> int:
-    from .experiments.sweeps import SweepSpec, run_sweep
+    from .experiments.sweeps import SweepSpec, plan_sweep, run_sweep
 
     spec = SweepSpec.from_json(args.spec)
     overrides = {}
@@ -217,14 +217,36 @@ def _sweep_run(args) -> int:
     if args.speculate < 0:
         print("--speculate must be non-negative", file=sys.stderr)
         return 2
-    if args.speculate > 0 and args.workers == 1:
-        # results are identical either way, but there is nothing for a lone
-        # worker to overlap with — only dispatch overhead is added
+    if args.workers < 0:
+        print("--workers must be non-negative", file=sys.stderr)
+        return 2
+    if args.dry_run:
+        plan = plan_sweep(spec, store, resume=not args.restart)
+        for row in plan["points"]:
+            cfg = f"d={row['distance']} tau={row['tau_ns']} {row['policy']}"
+            if row["status"] in ("converged", "not_applicable"):
+                print(f"  {cfg}: {row['status']} (nothing to decode)")
+                continue
+            replay = (
+                f", {row['batches_ahead']} replayable from log"
+                if row["batches_ahead"]
+                else ""
+            )
+            print(
+                f"  {cfg}: {row['status']} shots={row['shots']}/"
+                f"{row['max_shots']}, {row['batches_applied']} batches applied"
+                f"{replay}, <= {row['batches_remaining']} x "
+                f"{row['next_batch_shots']} shots to decode"
+            )
+        t = plan["totals"]
         print(
-            "note: --speculate with --workers 1 cannot overlap decoding;"
-            " results are identical but wall time may increase",
-            file=sys.stderr,
+            f"dry run: {t['decode']}/{t['points']} point(s) need decoding, "
+            f"<= {t['batches_remaining']} new batch(es) "
+            f"(~{t['est_new_shots']} shots); {t['batches_ahead']} batch(es) "
+            "replay free from the commit-ahead log"
         )
+        print("estimates are the shot-cap worst case; target_rse may stop earlier")
+        return 0
     # observability: --trace/--metrics-out activate the repro.obs recorder
     # for this run (docs/OBSERVABILITY.md); the env knobs are the flagless
     # spelling and how spawn-started pool workers self-activate.  Tracing
@@ -248,6 +270,7 @@ def _sweep_run(args) -> int:
             resume=not args.restart,
             workers=args.workers,
             speculate=args.speculate,
+            admission=args.admission,
             progress=lambda msg: print(f"  {msg}"),
             ledger=False if args.no_ledger else None,
         )
@@ -441,18 +464,30 @@ def _sweep_watch(args) -> int:
 
     from .obs import RunLedger, watch_snapshot
 
+    if args.interval <= 0:
+        print("--interval must be positive", file=sys.stderr)
+        return 2
     store = _resolve_store(args.store)
     ledger = RunLedger.for_store(store)
     rid = _resolve_run_id(args, ledger)
     if rid is None:
         return 2
-    while True:
+    try:
+        while True:
+            snap = watch_snapshot(store, rid)
+            print(_render_watch(snap))
+            if args.once or snap["status"] != "running":
+                return 0
+            time.sleep(args.interval)
+            print()
+    except KeyboardInterrupt:
+        # Ctrl-C usually lands in the sleep; leave a final snapshot instead
+        # of a traceback, and exit with the conventional SIGINT code
+        print()
         snap = watch_snapshot(store, rid)
         print(_render_watch(snap))
-        if args.once or snap["status"] != "running":
-            return 0
-        time.sleep(args.interval)
-        print()
+        print("watch interrupted", file=sys.stderr)
+        return 130
 
 
 def _runs_list(args) -> int:
@@ -720,7 +755,12 @@ def main(argv=None) -> int:
         help="discard partial (non-converged) checkpoints and recompute them"
         " from batch 0; converged points are still served from the store",
     )
-    sweep_run.add_argument("--workers", type=int, default=1, metavar="N")
+    sweep_run.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="decode batches on a warm pool of N processes; 0 or 1 decodes"
+        " in-process (with --speculate this selects the zero-IPC inline"
+        " executor).  Results are bit-identical for any N",
+    )
     sweep_run.add_argument(
         "--speculate",
         type=int,
@@ -728,8 +768,23 @@ def main(argv=None) -> int:
         metavar="DEPTH",
         help="concurrent scheduler: keep up to DEPTH batches per point in"
         " flight while the stopping rule evaluates earlier ones; points are"
-        " interleaved on one warm pool and results are bit-identical to the"
-        " sequential scheduler (0 = sequential, the default)",
+        " interleaved on one shared executor and results are bit-identical"
+        " to the sequential scheduler (0 = sequential, the default)",
+    )
+    sweep_run.add_argument(
+        "--admission",
+        choices=("cost", "sweep"),
+        default="cost",
+        help="concurrent point-admission order: 'cost' starts the points"
+        " with the most estimated remaining work first (default), 'sweep'"
+        " keeps grid order; stored records are bit-identical either way",
+    )
+    sweep_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report per-point batches committed vs. needed, replayable"
+        " commit-ahead batches and estimated new shots, then exit without"
+        " decoding anything (read-only, shot-cap worst case)",
     )
     sweep_run.add_argument(
         "--target-rse",

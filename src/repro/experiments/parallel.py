@@ -26,7 +26,7 @@ import multiprocessing
 import os
 import pickle
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass
 
 from .. import obs
@@ -51,11 +51,14 @@ __all__ = [
     "shard_tasks",
     "merge_results",
     "warm_worker",
+    "install_payload",
     "reset_warm_state",
     "execute_tasks",
     "submit_task",
     "absorb_result_spans",
     "pool_executor",
+    "InlineFuture",
+    "InlineExecutor",
     "DEFAULT_NUM_SHARDS",
 ]
 
@@ -75,6 +78,55 @@ def pool_executor(max_workers: int | None = None, **kwargs) -> ProcessPoolExecut
         kwargs.setdefault("mp_context", multiprocessing.get_context(method))
     return ProcessPoolExecutor(max_workers=max_workers, **kwargs)
 
+
+class InlineFuture(Future):
+    """A lazily evaluated in-process future.
+
+    ``submit`` on an :class:`InlineExecutor` returns one of these without
+    running anything; the scheduler calls :meth:`force` when it actually
+    needs the result.  Laziness is what makes single-core speculation free:
+    a speculative batch whose point converges before it is forced can still
+    be *cancelled*, so the inline scheduler decodes exactly the batch set
+    the sequential scheduler would.
+    """
+
+    def __init__(self, fn, args):
+        super().__init__()
+        self._fn = fn
+        self._args = args
+
+    def force(self) -> None:
+        """Run the deferred call now (no-op if done or cancelled)."""
+        if self.done() or not self.set_running_or_notify_cancel():
+            return
+        try:
+            result = self._fn(*self._args)
+        except BaseException as exc:
+            self.set_exception(exc)
+        else:
+            self.set_result(result)
+
+
+class InlineExecutor:
+    """A ``submit``-shaped executor that runs tasks in this process, lazily.
+
+    The single-core counterpart of :func:`pool_executor`: schedulers built
+    on :func:`submit_task` work unchanged, but tasks skip pickling and IPC
+    entirely — they execute in-process (against the module-global warm
+    pipeline/cache state, like the serial path of
+    :func:`run_sweep_parallel`) when their :class:`InlineFuture` is forced.
+    """
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Defer ``fn(*args)`` into a lazy :class:`InlineFuture`."""
+        if kwargs:
+            raise TypeError("InlineExecutor.submit takes positional args only")
+        return InlineFuture(fn, args)
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        """Nothing to tear down (matches the ProcessPoolExecutor surface)."""
+
+
 #: worker-process cache: pipeline key -> decode-ready pipeline, installed by
 #: :func:`warm_worker` (pool initializer) so shard workers skip circuit
 #: analysis entirely when the coordinator hands them a serialized DEM;
@@ -90,14 +142,25 @@ _WARM_PIPELINES: "OrderedDict[tuple, object]" = OrderedDict()
 _WARM_CACHES: "OrderedDict[tuple, SyndromeCache]" = OrderedDict()
 
 
-def _install_payload(payload: PipelinePayload) -> None:
-    """Install one payload into this process's warm-pipeline LRU."""
+def install_payload(payload: PipelinePayload) -> None:
+    """Install one payload into this process's warm-pipeline LRU.
+
+    The pickle-free sibling of :func:`warm_worker`: coordinators running
+    tasks in-process (the serial path of :func:`run_sweep_parallel`, the
+    inline executor of the sweep schedulers) install the payload object
+    directly, so a task whose ``pipeline_key`` matches skips circuit
+    analysis without any serialization round-trip.
+    """
     if payload.key not in _WARM_PIPELINES:
         _WARM_PIPELINES[payload.key] = _ler._Pipeline.from_payload(payload)
     _WARM_PIPELINES.move_to_end(payload.key)
     limit = max(1, _ler.PIPELINE_CACHE_SIZE)
     while len(_WARM_PIPELINES) > limit:
         _WARM_PIPELINES.popitem(last=False)
+
+
+#: backwards-compatible private alias (pre-inline-executor name)
+_install_payload = install_payload
 
 
 def warm_worker(payload_blobs: tuple[bytes, ...]) -> None:
@@ -166,14 +229,24 @@ class SweepTask:
     #: per sweep run, spanning many configurations) install the pipeline on
     #: first contact instead of requiring a pool-initializer per payload
     payload_blob: bytes | None = None
+    #: path to a pickled PipelinePayload spool file for one-shot shipping:
+    #: like ``payload_blob`` but the serialized DEM crosses the IPC boundary
+    #: once per (configuration, worker) — each worker reads and installs the
+    #: file on first contact with ``pipeline_key`` — instead of riding along
+    #: with every batch submission.  ``payload_blob`` wins when both are set.
+    payload_path: str | None = None
 
 
 def _run_task(task: SweepTask) -> LerResult:
     policy = make_policy(task.policy_name, **dict(task.policy_kwargs))
     pipeline = cache = None
     if task.pipeline_key is not None:
-        if task.pipeline_key not in _WARM_PIPELINES and task.payload_blob is not None:
-            warm_worker((task.payload_blob,))
+        if task.pipeline_key not in _WARM_PIPELINES:
+            if task.payload_blob is not None:
+                warm_worker((task.payload_blob,))
+            elif task.payload_path is not None:
+                with open(task.payload_path, "rb") as f:
+                    warm_worker((f.read(),))
         pipeline = _WARM_PIPELINES.get(task.pipeline_key)
         if pipeline is not None and task.dedup is not False:
             cache = _family_cache(
@@ -241,8 +314,11 @@ def submit_task(pool: ProcessPoolExecutor, task: SweepTask):
     The non-blocking sibling of :func:`execute_tasks`: returns the
     ``concurrent.futures.Future`` immediately so a scheduler can keep
     dispatching (speculative batches, other sweep points) while this task
-    decodes.  The worker warms itself from ``task.payload_blob`` on first
-    contact exactly as on the blocking path.
+    decodes.  The worker warms itself from ``task.payload_blob`` /
+    ``task.payload_path`` on first contact exactly as on the blocking path.
+    ``pool`` may be a process pool or an :class:`InlineExecutor` — the
+    latter returns a lazy :class:`InlineFuture` the scheduler forces when
+    it needs the result.
     """
     return pool.submit(_run_task, task)
 
@@ -279,7 +355,7 @@ def run_sweep_parallel(
         return []
     if max_workers == 1 or len(tasks) == 1:
         for payload in payloads or []:
-            _install_payload(payload)
+            install_payload(payload)
         results = [_run_task(t) for t in tasks]
     else:
         kwargs = {}

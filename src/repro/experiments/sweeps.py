@@ -51,9 +51,12 @@ Consequences:
 from __future__ import annotations
 
 import json
+import os
 import pickle
+import shutil
+import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,9 +69,11 @@ from ..store import ResultStore, batch_entropy, point_key
 from . import ler as _ler
 from .ler import SurgeryLerConfig
 from .parallel import (
+    InlineExecutor,
     SweepTask,
     absorb_result_spans,
     execute_tasks,
+    install_payload,
     pool_executor,
     run_sweep_parallel,
     submit_task,
@@ -82,11 +87,20 @@ __all__ = [
     "PointOutcome",
     "SweepReport",
     "run_sweep",
+    "plan_sweep",
+    "ADMISSION_ORDERS",
     "ensure_point",
     "point_record_estimates",
     "record_parity_view",
     "export_records",
 ]
+
+#: admission orders the concurrent scheduler accepts: ``cost`` starts the
+#: points with the most estimated remaining decode work first (shrinking the
+#: long tail), ``sweep`` admits in grid order.  Stored records are
+#: bit-identical under either — application is per-point in-order — and
+#: outcomes are always *emitted* in sweep order.
+ADMISSION_ORDERS = ("cost", "sweep")
 
 #: record fields that depend on execution (wall clock, warm-cache state,
 #: worker scheduling) and never on the estimates.  Everything else is
@@ -452,14 +466,18 @@ class _ConcurrentPoint:
     however futures complete, the record evolves identically.
     """
 
-    def __init__(self, pt, key, record, payload, blob, committed):
+    def __init__(self, pt, key, record, payload, payload_path, committed):
         self.pt = pt
         self.key = key
         self.record = record
         self.payload = payload
-        self.blob = blob
+        #: spool-file path tasks carry for one-shot payload shipping (None
+        #: on the inline executor, where the payload is installed in-process)
+        self.payload_path = payload_path
         #: indices available in the commit-ahead log (replayable)
         self.committed = committed
+        #: position in the sweep grid (emission order; admission may differ)
+        self.pos = 0
         #: index -> in-flight Future
         self.inflight: dict = {}
         #: index -> shots the batch was dispatched/replayed at (for the
@@ -495,31 +513,73 @@ class _SweepRun:
         batch_limit: int | None = None,
         progress=None,
         ledger=None,
+        admission: str = "cost",
     ):
         if speculate < 0:
             raise ValueError("speculate must be non-negative")
+        if admission not in ADMISSION_ORDERS:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_ORDERS}, got {admission!r}"
+            )
         self.spec = spec
         self.store = store
         self.resume = resume
+        #: ``workers <= 1`` selects the inline executor: batch tasks run
+        #: in-process through the same submit_task interface, with zero
+        #: pickling/IPC — on a single-core host the concurrent scheduler is
+        #: then never slower than the sequential one (``--workers 0`` is the
+        #: CLI's explicit spelling)
+        self.inline = workers <= 1
         self.workers = max(1, workers)
         self.speculate = speculate
+        self.admission = admission
         self.budget = _BatchBudget(batch_limit)
         self.progress = progress or (lambda msg: None)
         #: run-ledger writer — pure observation (events, heartbeats); a
         #: no-op writer when the ledger is off, so call sites stay branchless
         self.ledger = ledger if ledger is not None else _oledger.NULL_RUN_WRITER
         self.report = SweepReport(spec=spec, speculate=speculate)
-        #: one pool for the whole run (lazily created): workers warm
-        #: themselves per configuration from the tasks' payload blobs, so
-        #: pipelines and per-family syndrome caches survive across batches,
-        #: convergence rounds and sweep points
-        self._pool: ProcessPoolExecutor | None = None
+        #: one executor for the whole run (lazily created): a warm process
+        #: pool, or the in-process inline executor when ``workers <= 1``.
+        #: Pool workers warm themselves per configuration from the tasks'
+        #: payload spool files, so pipelines and per-family syndrome caches
+        #: survive across batches, convergence rounds and sweep points
+        self._pool = None
+        #: payload spool: key -> pickled-payload file path, written once per
+        #: point so the serialized DEM crosses the IPC boundary once per
+        #: (point, worker) instead of riding along with every batch task
+        self._spool_dir: str | None = None
+        self._spooled: dict[str, str] = {}
 
     def close(self) -> None:
-        """Shut down the run's process pool (if one was created)."""
+        """Shut down the run's executor and payload spool (if created)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+            self._spooled.clear()
+
+    def _executor(self):
+        """The run-wide executor, created on first use."""
+        if self._pool is None:
+            self._pool = (
+                InlineExecutor() if self.inline else pool_executor(self.workers)
+            )
+        return self._pool
+
+    def _spool_payload(self, key: str, payload) -> str:
+        """Serialize one point's payload into the run's spool, once."""
+        path = self._spooled.get(key)
+        if path is None:
+            if self._spool_dir is None:
+                self._spool_dir = tempfile.mkdtemp(prefix="repro-payload-")
+            path = os.path.join(self._spool_dir, f"{key[:32]}.pkl")
+            with open(path, "wb") as f:
+                f.write(pickle.dumps(payload))
+            self._spooled[key] = path
+        return path
 
     # -- batch execution ---------------------------------------------------
 
@@ -528,9 +588,16 @@ class _SweepRun:
         return np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
 
     def _make_task(
-        self, pt: SweepPoint, key: str, payload, blob, index: int, shots: int
+        self, pt: SweepPoint, key: str, payload, payload_path, index: int,
+        shots: int,
     ) -> SweepTask:
-        """One batch task, seeded purely by ``(spec seed, key, index)``."""
+        """One batch task, seeded purely by ``(spec seed, key, index)``.
+
+        ``payload_path`` is the point's payload spool file (None on the
+        inline/serial paths, where the payload is already installed
+        in-process): tasks ship the small path string per batch, and each
+        pool worker reads the serialized DEM once per configuration.
+        """
         return SweepTask(
             config=pt.config,
             policy_name=pt.policy_name,
@@ -540,33 +607,34 @@ class _SweepRun:
             decoder=pt.decoder,
             backend=self.spec.backend,
             pipeline_key=payload.key,
-            payload_blob=blob,
+            payload_path=payload_path,
         )
 
     def _run_batches(
-        self, payload, blob, pt: SweepPoint, key: str, first_batch: int, n: int,
-        batch_shots: int,
+        self, payload, payload_path, pt: SweepPoint, key: str, first_batch: int,
+        n: int, batch_shots: int,
     ):
         """Decode batches ``first_batch .. first_batch+n-1`` of one point.
 
         Serial mode installs the payload in-process (module-global warm
-        state); pooled mode sends tasks carrying the pickled payload to the
-        run-wide pool, where each worker installs it on first contact.  In
-        both modes the per-family :class:`SyndromeCache` persists across
+        state); pooled mode sends tasks carrying the payload's spool path to
+        the run-wide pool, where each worker installs it on first contact.
+        In both modes the per-family :class:`SyndromeCache` persists across
         batches, rounds and points.
         """
         tasks = [
-            self._make_task(pt, key, payload, blob, first_batch + i, batch_shots)
+            self._make_task(
+                pt, key, payload, payload_path, first_batch + i, batch_shots
+            )
             for i in range(n)
         ]
         if self.workers == 1:
             return run_sweep_parallel(tasks, max_workers=1, payloads=[payload])
-        if self._pool is None:
-            self._pool = pool_executor(self.workers)
+        pool = self._executor()
         # the sequential scheduler's round barrier: the coordinator blocks
         # here until the whole round returns (cf. sweep.idle in _await_some)
         with obs.span("sweep.idle", lambda: {"inflight": len(tasks)}):
-            return execute_tasks(self._pool, tasks)
+            return execute_tasks(pool, tasks)
 
     # -- shared per-point bookkeeping (sequential and concurrent paths) ----
 
@@ -749,8 +817,9 @@ class _SweepRun:
             max_shots=spec.max_shots,
         )
 
-        # pickled once per point; reused by every batch task of this point
-        blob = pickle.dumps(payload) if self.workers > 1 else None
+        # spooled once per point; every batch task of this point carries the
+        # path and each pool worker installs the payload on first contact
+        payload_path = self._spool_payload(key, payload) if self.workers > 1 else None
         #: batch indices a previous (possibly speculative) pass committed
         committed = self._replayable(key)
         new_shots = 0
@@ -785,7 +854,7 @@ class _SweepRun:
                 break
             first_index = record["batches"]
             results = self._run_batches(
-                payload, blob, pt, key, record["batches"], allowed, size
+                payload, payload_path, pt, key, record["batches"], allowed, size
             )
             self.budget.spend(allowed)
             discard = False
@@ -827,7 +896,7 @@ class _SweepRun:
     # -- concurrent scheduler with speculative batch decoding --------------
 
     def run_concurrent(self, points: list[SweepPoint]) -> None:
-        """Run every point on one shared warm pool, points interleaved.
+        """Run every point on one shared executor, points interleaved.
 
         The speculative counterpart of the sequential point loop: while the
         stopping rule is still digesting batch *k* of a point, batches
@@ -842,94 +911,268 @@ class _SweepRun:
         stopping rule fired stay in the log (deterministic in
         ``(seed, key, index, size)`` — a later resume or tightened
         ``target_rse`` replays them for free) but never enter the estimate.
+
+        With ``workers <= 1`` the executor is the in-process
+        :class:`InlineExecutor`: dispatch creates lazy futures, and
+        :meth:`_await_some` forces them in submission order — speculative
+        futures of a point whose stopping rule already fired are cancelled
+        unrun, so the inline scheduler decodes exactly the sequential batch
+        set with zero pickling/IPC.  (Cancelled batches do *not* refund the
+        ``batch_limit`` budget: dispatch counts against the cap.)
+
+        ``admission="cost"`` (the default) admits points by estimated
+        remaining decode work, biggest first, so the long-tail point starts
+        earliest; application stays per-point in-order, records are
+        bit-identical under any admission order, and outcomes are emitted
+        in sweep order regardless.
+
+        Worker exceptions propagate to the caller, but never silently lose
+        work: the ``finally`` block cancels or drains orphaned futures
+        (completed ones are still committed to the log) and checkpoints
+        every unfinished point's partial record, so a later resume replays
+        instead of re-decoding.
         """
         depth = max(1, self.speculate)
-        if self._pool is None:
-            self._pool = pool_executor(self.workers)
-        queue = list(points)
-        order: list[_ConcurrentPoint] = []  # emission order = sweep order
+        self._executor()
+        queue = list(enumerate(points))
+        if self.admission == "cost":
+            costs = {pos: self._admission_cost(pt) for pos, pt in queue}
+            # stable sort: ties (e.g. fresh points of one uniform spec) stay
+            # in sweep order
+            queue.sort(key=lambda item: -costs[item[0]])
+        order: list[_ConcurrentPoint] = []  # admission order
         active: list[_ConcurrentPoint] = []
         futures: dict = {}  # Future -> (state, index)
 
-        while queue or active:
-            # admit points while the pool has headroom (analysis of a later
-            # point overlaps decoding of earlier ones)
-            while (
-                queue
-                and not self.budget.exhausted
-                and len(futures) < self.workers + depth
-                and len(active) < self.workers + depth
-            ):
-                pt = queue.pop(0)
-                key, record, payload, resolved = self._prepare_point(pt)
-                state = _ConcurrentPoint(
-                    pt,
-                    key,
-                    record,
-                    payload,
-                    pickle.dumps(payload) if payload is not None else None,
-                    set() if resolved else self._replayable(key),
-                )
-                order.append(state)
-                if resolved:
-                    state.finished = True
-                    self.ledger.point_store_served(
-                        key, status=record.get("status"), shots=record.get("shots", 0)
+        try:
+            while queue or active:
+                # admit points while the pool has headroom (analysis of a
+                # later point overlaps decoding of earlier ones)
+                while (
+                    queue
+                    and not self.budget.exhausted
+                    and len(futures) < self.workers + depth
+                    and len(active) < self.workers + depth
+                ):
+                    pos, pt = queue.pop(0)
+                    key, record, payload, resolved = self._prepare_point(pt)
+                    payload_path = None
+                    if payload is not None:
+                        if self.inline:
+                            install_payload(payload)
+                        else:
+                            payload_path = self._spool_payload(key, payload)
+                    state = _ConcurrentPoint(
+                        pt,
+                        key,
+                        record,
+                        payload,
+                        payload_path,
+                        set() if resolved else self._replayable(key),
                     )
+                    state.pos = pos
+                    order.append(state)
+                    if resolved:
+                        state.finished = True
+                        self.ledger.point_store_served(
+                            key,
+                            status=record.get("status"),
+                            shots=record.get("shots", 0),
+                        )
+                        continue
+                    self.ledger.point_start(
+                        key,
+                        config=record.get("config"),
+                        shots=record.get("shots", 0),
+                        max_shots=self.spec.max_shots,
+                    )
+                    active.append(state)
+                    self._dispatch_point(state, depth, futures)
+                for state in active:
+                    self._dispatch_point(state, depth, futures)
+                if self._drain(active):
+                    active = [s for s in active if not s.finished]
+                    continue  # applied batches may unlock dispatch (plan growth)
+                if futures:
+                    self._await_some(futures)
                     continue
-                self.ledger.point_start(
-                    key,
-                    config=record.get("config"),
-                    shots=record.get("shots", 0),
-                    max_shots=self.spec.max_shots,
-                )
-                active.append(state)
-                self._dispatch_point(state, depth, futures)
-            for state in active:
-                self._dispatch_point(state, depth, futures)
-            if self._drain(active):
-                active = [s for s in active if not s.finished]
-                continue  # applied batches may unlock dispatch (plan growth)
-            if futures:
+                if self.budget.exhausted:
+                    break  # nothing in flight and no budget to dispatch more
+                if not active:
+                    break  # every admitted point resolved from the store
+                # no futures, nothing drained, budget available: only
+                # reachable when every active point is blocked, which cannot
+                # happen — an unfinished point always admits one dispatch
+                raise RuntimeError(
+                    "concurrent sweep scheduler stalled"
+                )  # pragma: no cover
+
+            # drain stray speculative futures of finished points: their
+            # results are committed to the log (nothing wasted, pool mode)
+            # or cancelled unrun (inline mode); never applied
+            while futures:
                 self._await_some(futures)
-                continue
-            if self.budget.exhausted:
-                break  # nothing in flight and no budget to dispatch more
-            if not active:
-                break  # every admitted point resolved straight from the store
-            # no futures, nothing drained, budget available: only reachable
-            # when every active point is blocked, which cannot happen — an
-            # unfinished point always admits at least one dispatch
-            raise RuntimeError(
-                "concurrent sweep scheduler stalled"
-            )  # pragma: no cover
-
-        # drain stray speculative futures of finished points: their results
-        # are committed to the log (nothing wasted), never applied
-        while futures:
-            self._await_some(futures)
-
-        if queue or any(not s.finished for s in active):
-            self.report.interrupted = True
-        for state in active:
-            if not state.finished:  # checkpoint interrupted partial state
-                record = dict(state.record)
-                record["updated_at"] = _wallclock()
-                self.store.put(state.key, record)
-                state.record = record
-        for state in order:
+        finally:
+            # a worker exception lands here with futures still in flight:
+            # cancel what never started, commit what completed, and
+            # checkpoint partial records so resume replays instead of
+            # re-decoding (on the clean path this is all a no-op)
+            if futures:
+                self._abandon(futures)
+            if queue or any(not s.finished for s in active):
+                self.report.interrupted = True
+            for state in active:
+                if not state.finished:  # checkpoint interrupted partial state
+                    record = dict(state.record)
+                    record["updated_at"] = _wallclock()
+                    self.store.put(state.key, record)
+                    state.record = record
+        for state in sorted(order, key=lambda s: s.pos):  # emit in sweep order
             self.report.shots_decoded += state.new_shots
             self.report.batches_decoded += state.new_batches
             self._outcome(state.pt, state.key, state.record, new_shots=state.new_shots)
 
+    def _admission_cost(self, pt: SweepPoint) -> int:
+        """Estimated shots this point still needs to decode (read-only).
+
+        The admission key of ``admission="cost"``: a store/commit-ahead-log
+        peek through the shared cost model
+        (:func:`repro.obs.ledger.estimate_point_cost`) — the same math
+        ``sweep watch`` and ``--dry-run`` report.  Never analyzes a circuit
+        and never writes.
+        """
+        return int(self._plan_point(pt)["est_new_shots"])
+
+    def _plan_point(self, pt: SweepPoint) -> dict:
+        """One point's committed-vs-needed work estimate (read-only)."""
+        spec = self.spec
+        key = pt.key(seed=spec.seed, batch_shots=spec.batch_shots)
+        record = self.store.get(key)
+        row = {
+            "key": key,
+            "distance": pt.config.distance,
+            "tau_ns": pt.config.tau_ns,
+            "policy": pt.policy_name,
+            "status": "missing",
+            "shots": 0,
+            "max_shots": spec.max_shots,
+            "batches_applied": 0,
+            "batches_ahead": 0,
+            "batches_remaining": 0,
+            "next_batch_shots": spec.batch_shots,
+            "est_new_shots": 0,
+        }
+        if record is not None and record.get("status") == "not_applicable":
+            row["status"] = "not_applicable"
+            return row
+        if record is not None and not self.resume and not record.get("converged"):
+            # --restart recomputes partial points from batch 0 and discards
+            # their commit-ahead log (nothing replayable)
+            record = None
+            row["status"] = "restart"
+        if record is not None:
+            row["shots"] = int(record.get("shots", 0))
+            row["batches_applied"] = int(record.get("batches", 0))
+            row["next_batch_shots"] = self._planned_batch_shots(record)
+            done, _ = _converged(record["failures"], record["shots"], spec)
+            if done:
+                row["status"] = "converged"
+                return row
+            row["status"] = "partial"
+            row["batches_ahead"] = sum(
+                1
+                for i in self.store.batch_indices(key)
+                if i >= row["batches_applied"]
+            )
+        cost = _oledger.estimate_point_cost(
+            row["shots"],
+            spec.max_shots,
+            row["next_batch_shots"],
+            ahead=row["batches_ahead"],
+        )
+        row["batches_remaining"] = cost["batches_remaining"]
+        row["est_new_shots"] = cost["new_shots"]
+        return row
+
     def _await_some(self, futures: dict) -> None:
-        """Block for at least one in-flight batch and receive all completed."""
+        """Block for at least one in-flight batch and receive all completed.
+
+        Pool mode waits on FIRST_COMPLETED; when a completed future raises,
+        the *other* completed futures are still received (committed to the
+        log) before the first exception propagates — a worker crash never
+        discards sibling work that already finished.  Inline mode forces the
+        earliest-submitted live future instead (exactly the order the
+        sequential scheduler would decode), after cancelling speculative
+        futures of already-finished points unrun.
+        """
+        if self.inline:
+            self._await_inline(futures)
+            self.ledger.maybe_heartbeat(inflight=len(futures))
+            return
         with obs.span("sweep.idle", lambda: {"inflight": len(futures)}):
             done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+        failure = None
+        received = []
         for fut in done:
             state, index = futures.pop(fut)
-            self._receive(state, index, fut.result())
+            try:
+                result = fut.result()
+            except BaseException as exc:
+                state.inflight.pop(index, None)
+                state.sizes.pop(index, None)
+                if failure is None:
+                    failure = exc
+            else:
+                received.append((state, index, result))
+        for state, index, result in received:
+            self._receive(state, index, result)
+        if failure is not None:
+            raise failure
         self.ledger.maybe_heartbeat(inflight=len(futures))
+
+    def _await_inline(self, futures: dict) -> None:
+        """Inline-executor counterpart of the FIRST_COMPLETED wait."""
+        # drop speculation for points whose stopping rule already fired:
+        # lazy futures cancel unrun, so nothing is decoded or committed
+        # (their dispatch already spent the batch budget — not refunded)
+        for fut in list(futures):
+            state, index = futures[fut]
+            if state.finished and fut.cancel():
+                del futures[fut]
+                state.inflight.pop(index, None)
+                state.sizes.pop(index, None)
+        if not futures:
+            return
+        fut = next(iter(futures))  # earliest submitted = sequential order
+        state, index = futures.pop(fut)
+        fut.force()
+        try:
+            result = fut.result()
+        except BaseException:
+            state.inflight.pop(index, None)
+            state.sizes.pop(index, None)
+            raise
+        self._receive(state, index, result)
+
+    def _abandon(self, futures: dict) -> None:
+        """Cancel or drain orphaned futures after a scheduler exception.
+
+        Never-started futures are cancelled; already-running ones are waited
+        for and their results committed to the commit-ahead log (resume
+        replays them), with secondary failures swallowed — the original
+        exception is the one the caller sees.
+        """
+        for fut in list(futures):
+            state, index = futures.pop(fut)
+            if fut.cancel():
+                state.inflight.pop(index, None)
+                state.sizes.pop(index, None)
+                continue
+            try:
+                self._receive(state, index, fut.result())
+            except BaseException:
+                state.inflight.pop(index, None)
+                state.sizes.pop(index, None)
 
     def _dispatch_point(self, state: _ConcurrentPoint, depth: int, futures: dict) -> None:
         """Fill one point's speculation window (replays count for free)."""
@@ -968,7 +1211,12 @@ class _SweepRun:
                 fut = submit_task(
                     self._pool,
                     self._make_task(
-                        state.pt, state.key, state.payload, state.blob, index, size
+                        state.pt,
+                        state.key,
+                        state.payload,
+                        state.payload_path,
+                        index,
+                        size,
                     ),
                 )
             obs.count("sweep.batches_dispatched")
@@ -1117,6 +1365,7 @@ def run_sweep(
     resume: bool = True,
     workers: int = 1,
     speculate: int = 0,
+    admission: str = "cost",
     batch_limit: int | None = None,
     progress=None,
     ledger=None,
@@ -1133,6 +1382,13 @@ def run_sweep(
     records stay bit-identical to the sequential scheduler for any
     ``(workers, speculate)``; completed-but-excluded batches land in the
     store's commit-ahead log, where later passes replay them for free.
+    With ``workers <= 1`` the concurrent scheduler decodes in-process through
+    the inline executor (no pool, no pickling) and cancels unneeded
+    speculation lazily, so it does exactly the sequential decode work.
+    ``admission`` orders concurrent point admission: ``"cost"`` (default)
+    starts the points with the most estimated remaining work first,
+    ``"sweep"`` keeps grid order — stored records are bit-identical either
+    way, only wall-clock shape differs.
     ``batch_limit`` caps how many *new* batches this invocation decodes (the
     interruption hook used by tests and the microbenchmark); when the cap is
     hit the partial state is checkpointed and ``report.interrupted`` is set.
@@ -1159,6 +1415,7 @@ def run_sweep(
         resume=resume,
         workers=workers,
         speculate=speculate,
+        admission=admission,
         batch_limit=batch_limit,
         progress=progress,
         ledger=writer,
@@ -1184,6 +1441,40 @@ def run_sweep(
             summary = run.report.summary() if status != "error" else None
             writer.finish(status, summary=summary, metrics=metrics)
     return run.report
+
+
+def plan_sweep(
+    spec: SweepSpec, store: ResultStore, *, resume: bool = True
+) -> dict:
+    """Estimate a sweep's remaining work without decoding anything.
+
+    The engine behind ``repro sweep run --dry-run``: for every point of the
+    expanded grid, report batches already applied, commit-ahead batches
+    waiting to replay, batches still to decode, and the estimated new shots —
+    all through the same cost model the concurrent scheduler's ``"cost"``
+    admission order and ``sweep watch`` use
+    (:func:`repro.obs.ledger.estimate_point_cost`).  Purely read-only: no
+    store write, no circuit analysis, no decode.  Estimates are the
+    shot-cap worst case — ``target_rse`` may stop a point earlier, and a
+    missing point that would resolve ``not_applicable`` (which only circuit
+    analysis can tell) is costed as a full run.
+    """
+    run = _SweepRun(spec, store, resume=resume, workers=1, speculate=0)
+    try:
+        points = [run._plan_point(pt) for pt in spec.points()]
+    finally:
+        run.close()
+    return {
+        "sweep": spec.name,
+        "points": points,
+        "totals": {
+            "points": len(points),
+            "decode": sum(1 for p in points if p["batches_remaining"] > 0),
+            "batches_remaining": sum(p["batches_remaining"] for p in points),
+            "batches_ahead": sum(p["batches_ahead"] for p in points),
+            "est_new_shots": sum(p["est_new_shots"] for p in points),
+        },
+    }
 
 
 def export_records(spec: SweepSpec, store: ResultStore) -> list[dict]:

@@ -54,9 +54,13 @@ HISTORY_SCHEMA = "repro.bench.history/v1"
 #: repo-relative default history file (``repro bench record/compare``)
 DEFAULT_HISTORY = Path("benchmarks") / "history" / "history.jsonl"
 
-#: name suffixes that mark a series as throughput-like (bigger is better)
-_UP_SUFFIXES = ("_per_sec", "_per_s", "_hz")
-#: name fragments that mark a series as throughput-like
+#: name suffixes that mark a series as throughput-like (bigger is better);
+#: ``_ratio`` / ``_x`` cover speedup-style ratios (e.g. ``dedup_ratio``,
+#: ``warm_vs_cold_x``) — checked before the latency suffixes, so a ratio
+#: name never falls through to a smaller-is-better match
+_UP_SUFFIXES = ("_per_sec", "_per_s", "_hz", "_ratio", "_x")
+#: name fragments that mark a series as throughput-like (``speedup`` and
+#: ``speedup_vs_serial`` in sweep_speculation.json match here)
 _UP_FRAGMENTS = ("speedup",)
 #: name suffixes that mark a series as latency-like (smaller is better)
 _DOWN_SUFFIXES = (

@@ -54,7 +54,42 @@ __all__ = [
     "ledger_env_enabled",
     "sweep_manifest",
     "watch_snapshot",
+    "estimate_point_cost",
 ]
+
+
+def estimate_point_cost(
+    shots: int, max_shots: int, next_batch_shots: int, *, ahead: int = 0
+) -> dict:
+    """Remaining-work estimate for one sweep point, pure numbers in and out.
+
+    The single cost model shared by ``sweep watch`` ETAs
+    (:func:`watch_snapshot`), the concurrent scheduler's cost-ordered point
+    admission and the ``sweep run --dry-run`` planner: given the applied
+    ``shots``, the spec's ``max_shots`` cap, the adaptive plan's
+    ``next_batch_shots`` and the number of commit-ahead log entries at or
+    past the applied prefix (``ahead`` — nearly free to apply, so they are
+    excluded from the decode estimate), it returns::
+
+        {"batches_total": ...,      # batches to the cap, ignoring the log
+         "batches_remaining": ...,  # of those, batches still to *decode*
+         "new_shots": ...}          # projected decode volume (the final
+                                    # batch may overshoot the cap; that is
+                                    # real work, so it is counted)
+
+    This is the shot-cap worst case: a ``target_rse`` stopping rule may
+    converge the point earlier, and the estimate cannot know that without
+    decoding — which is exactly what it exists to avoid.
+    """
+    size = max(1, int(next_batch_shots))
+    remaining_shots = max(0, int(max_shots) - int(shots))
+    batches_total = math.ceil(remaining_shots / size)
+    batches_remaining = max(0, batches_total - max(0, int(ahead)))
+    return {
+        "batches_total": batches_total,
+        "batches_remaining": batches_remaining,
+        "new_shots": batches_remaining * size,
+    }
 
 #: schema tag stamped into every run manifest
 RUN_SCHEMA = "repro.obs.run/v1"
@@ -515,9 +550,10 @@ def watch_snapshot(store, run_id: str | None = None) -> dict:
         row["batches_ahead"] = len(ahead)
         max_shots = row["max_shots"] or 0
         if row["status"] in ("pending", "running") and next_size and max_shots:
-            remaining_shots = max(0, max_shots - row["shots"])
-            remaining = math.ceil(remaining_shots / next_size)
-            row["batches_remaining"] = max(0, remaining - len(ahead))
+            cost = estimate_point_cost(
+                row["shots"], max_shots, next_size, ahead=len(ahead)
+            )
+            row["batches_remaining"] = cost["batches_remaining"]
         elif row["status"] not in ("pending", "running"):
             row["batches_remaining"] = 0
 

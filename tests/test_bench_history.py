@@ -58,6 +58,29 @@ def test_series_direction_inference():
     assert history.series_direction("cpu_count") is None
 
 
+def test_series_direction_speedup_family():
+    # the speculation benchmark's headline metrics, exactly as recorded
+    assert history.series_direction("speedup") == "up"
+    assert history.series_direction("speedup_vs_serial") == "up"
+    # fragment match: `speedup` anywhere in the name
+    assert history.series_direction("decode_speedup_cold") == "up"
+
+
+def test_series_direction_ratio_family():
+    assert history.series_direction("dedup_ratio") == "up"
+    assert history.series_direction("cache_hit_ratio") == "up"
+    # a ratio never falls through to the bare-`_s` latency suffix
+    assert history.series_direction("shots_ratio") == "up"
+
+
+def test_series_direction_x_family():
+    assert history.series_direction("warm_vs_cold_x") == "up"
+    assert history.series_direction("throughput_x") == "up"
+    # `_x` is a suffix match only — names merely containing x stay latency
+    assert history.series_direction("exec_ms") == "down"
+    assert history.series_direction("max_shots") is None
+
+
 def test_results_series_flattens_and_skips_meta():
     series = history.results_series({
         "config": {"d": 3, "deep": {"rate_per_sec": 5.0}},

@@ -647,3 +647,108 @@ def test_metrics_summarize_prints_counters_and_spans(capsys, tmp_path, sweep_spe
 def test_metrics_summarize_missing_file_is_clean_error(capsys, tmp_path):
     assert cli.main(["metrics", "summarize", str(tmp_path / "nope.json")]) == 2
     assert "cannot summarize" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# sweep run --dry-run / --workers 0 / --admission; sweep watch guards
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_run_dry_run_decodes_nothing(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(store), "--dry-run"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "dry run: 1/1 point(s) need decoding" in out
+    assert "missing shots=0/800" in out
+    assert not store.exists()  # nothing decoded, nothing written
+
+    assert cli.main(["sweep", "run", str(sweep_spec_file), "--store", str(store)]) == 0
+    capsys.readouterr()
+    snapshot = {
+        p: p.stat().st_mtime_ns for p in store.rglob("*") if p.is_file()
+    }
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(store), "--dry-run"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "converged (nothing to decode)" in out
+    assert "dry run: 0/1 point(s) need decoding" in out
+    assert {
+        p: p.stat().st_mtime_ns for p in store.rglob("*") if p.is_file()
+    } == snapshot  # read-only against a populated store too
+
+
+def test_sweep_run_workers_zero_runs_inline(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(store),
+         "--workers", "0", "--speculate", "2"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert '"shots_decoded": 800' in out
+    assert '"speculate": 2' in out
+
+
+def test_sweep_run_rejects_negative_workers(capsys, tmp_path, sweep_spec_file):
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(tmp_path / "s"),
+         "--workers", "-1"]
+    )
+    assert rc == 2
+    assert "--workers must be non-negative" in capsys.readouterr().err
+
+
+def test_sweep_run_admission_flag(capsys, tmp_path, sweep_spec_file):
+    store = tmp_path / "store"
+    rc = cli.main(
+        ["sweep", "run", str(sweep_spec_file), "--store", str(store),
+         "--speculate", "2", "--admission", "sweep"]
+    )
+    assert rc == 0
+    assert '"shots_decoded": 800' in capsys.readouterr().out
+    with pytest.raises(SystemExit):
+        cli.main(
+            ["sweep", "run", str(sweep_spec_file), "--store", str(store),
+             "--admission", "fifo"]
+        )
+
+
+def test_sweep_watch_rejects_nonpositive_interval(capsys, tmp_path):
+    for interval in ("0", "-2"):
+        rc = cli.main(
+            ["sweep", "watch", "--latest", "--store", str(tmp_path / "s"),
+             "--interval", interval]
+        )
+        assert rc == 2
+        assert "--interval must be positive" in capsys.readouterr().err
+
+
+def test_sweep_watch_ctrl_c_prints_final_snapshot(
+    capsys, tmp_path, sweep_spec_file, monkeypatch
+):
+    from repro.experiments.sweeps import SweepSpec
+    from repro.obs import RunWriter, sweep_manifest
+    from repro.store import ResultStore
+
+    # a live (never finished) run, so the watch loop actually sleeps
+    store = ResultStore(tmp_path / "store")
+    spec = SweepSpec.from_json(sweep_spec_file)
+    writer = RunWriter(store.runs_root, sweep_manifest(spec))
+
+    def interrupted_sleep(seconds):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("time.sleep", interrupted_sleep)
+    rc = cli.main(
+        ["sweep", "watch", writer.run_id, "--store", str(store.root)]
+    )
+    assert rc == 130  # the conventional SIGINT exit, not a traceback
+    captured = capsys.readouterr()
+    assert "watch interrupted" in captured.err
+    # the final snapshot frame was rendered on the way out
+    assert captured.out.count(f"run {writer.run_id}") == 2

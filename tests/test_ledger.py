@@ -343,3 +343,61 @@ def test_spawn_workers_report_spans_and_pids(tmp_path, monkeypatch):
     assert got.keys() == reference.keys()
     for key, ref in reference.items():
         assert record_parity_view(got[key]) == record_parity_view(ref)
+
+
+def test_inline_executor_reports_coordinator_pid_provenance(tmp_path):
+    """workers<=1 + speculate runs the zero-IPC inline executor: every
+    decoded batch must carry the coordinator's own pid as provenance (no
+    pool process ever exists), spans must still record, and parity with the
+    sequential scheduler must hold."""
+    spec = _spec(policies=(PolicySpec("passive"),), max_shots=800)
+    obs.reset()
+    obs.configure(trace_path=tmp_path / "t.json")
+    store = ResultStore(tmp_path / "s")
+    writer = _pinned_writer(store, spec, workers=0, speculate=2)
+    try:
+        report = run_sweep(spec, store, workers=0, speculate=2, ledger=writer)
+        events = list(obs.active().events)
+    finally:
+        obs.reset()
+
+    # inline tasks run in-process, so spans land directly on the recorder
+    assert {"decode.kernel", "sweep.dispatch"} <= {ev["name"] for ev in events}
+    assert {ev["pid"] for ev in events} == {os.getpid()}
+
+    ledger_events = RunLedger.for_store(store).events(report.run_id)
+    decoded = [
+        ev for ev in ledger_events
+        if ev["ev"] == "batch" and ev["kind"] == "decoded"
+    ]
+    assert decoded
+    assert {ev.get("worker_pid") for ev in decoded} == {os.getpid()}
+    assert report.batches_decoded == len(decoded)
+
+    reset_warm_state()
+    reference = _records(run_sweep(spec, ResultStore(tmp_path / "ref"), ledger=False))
+    got = _records(report)
+    assert got.keys() == reference.keys()
+    for key, ref in reference.items():
+        assert record_parity_view(got[key]) == record_parity_view(ref)
+
+
+def test_estimate_point_cost_shared_model():
+    from repro.obs.ledger import estimate_point_cost
+
+    # fresh point: every batch remains
+    assert estimate_point_cost(0, 2000, 400) == {
+        "batches_total": 5, "batches_remaining": 5, "new_shots": 2000,
+    }
+    # partial with commit-ahead batches: they replay, not decode
+    assert estimate_point_cost(800, 2000, 400, ahead=2) == {
+        "batches_total": 3, "batches_remaining": 1, "new_shots": 400,
+    }
+    # log ahead of the cap never goes negative
+    assert estimate_point_cost(1600, 2000, 400, ahead=9) == {
+        "batches_total": 1, "batches_remaining": 0, "new_shots": 0,
+    }
+    # converged / at cap: nothing left
+    assert estimate_point_cost(2000, 2000, 400) == {
+        "batches_total": 0, "batches_remaining": 0, "new_shots": 0,
+    }

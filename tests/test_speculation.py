@@ -56,7 +56,8 @@ def _records(report):
 
 
 # ---------------------------------------------------------------------------
-# the acceptance criterion: {sequential, depth 1, depth 4} x {1, 4 workers}
+# the acceptance criterion: {sequential, depth 1, depth 4} x {inline, pool}
+# (workers 0 and 1 run the zero-IPC inline executor, workers 4 a real pool)
 # ---------------------------------------------------------------------------
 
 
@@ -68,7 +69,7 @@ def test_speculative_parity_matrix(tmp_path):
     assert any(r["batches"] > 1 for r in ref_records.values())  # rule actually adapts
 
     for speculate in (1, 4):
-        for workers in (1, 4):
+        for workers in (0, 1, 4):
             reset_warm_state()
             store = ResultStore(tmp_path / f"s{speculate}w{workers}")
             report = run_sweep(spec, store, workers=workers, speculate=speculate)
@@ -386,3 +387,172 @@ def test_speculative_interruption_checkpoints_partial_state(tmp_path):
     assert partial.interrupted
     assert store.summary()["partial"] >= 1  # checkpointed, resumable
     assert partial.shots_decoded <= 2 * spec.batch_shots
+
+
+# ---------------------------------------------------------------------------
+# admission ordering: bit-identical records, sweep-order emission
+# ---------------------------------------------------------------------------
+
+
+def test_admission_orders_bit_identical(tmp_path):
+    spec = _spec()
+    ref = run_sweep(spec, ResultStore(tmp_path / "ref"))
+    ref_records = {k: _scrub(r) for k, r in _records(ref).items()}
+    ref_keys = [o.key for o in ref.outcomes]
+
+    for workers, speculate in ((1, 4), (4, 2)):  # inline and pool
+        for admission in ("cost", "sweep"):
+            reset_warm_state()
+            store = ResultStore(tmp_path / f"a{workers}-{admission}")
+            # seed asymmetric progress so the cost order genuinely differs
+            # from sweep order (the first point is part-done, costing less)
+            seeded = run_sweep(spec, store, batch_limit=2)
+            assert seeded.interrupted
+            reset_warm_state()
+            report = run_sweep(
+                spec, store, workers=workers, speculate=speculate,
+                admission=admission,
+            )
+            got = {k: _scrub(r) for k, r in _records(report).items()}
+            assert got == ref_records, (workers, admission)
+            # emission order is the sweep grid order, never admission order
+            assert [o.key for o in report.outcomes] == ref_keys
+
+
+def test_unknown_admission_order_rejected(tmp_path):
+    with pytest.raises(ValueError, match="admission"):
+        run_sweep(
+            _spec(), ResultStore(tmp_path), speculate=1,
+            admission="fifo", ledger=False,
+        )
+
+
+# ---------------------------------------------------------------------------
+# plan_sweep (`sweep run --dry-run`): cost model without decoding
+# ---------------------------------------------------------------------------
+
+
+def _tree_snapshot(root):
+    import os
+
+    snap = {}
+    for dirpath, _, filenames in os.walk(root):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            st = os.stat(path)
+            snap[os.path.relpath(path, root)] = (st.st_size, st.st_mtime_ns)
+    return snap
+
+
+def test_plan_sweep_decodes_nothing(tmp_path):
+    from repro.experiments.sweeps import plan_sweep
+
+    spec = _spec()
+    root = tmp_path / "s"
+    plan = plan_sweep(spec, ResultStore(root))
+    assert not root.exists()  # read-only: not even the store root appears
+    assert plan["totals"]["points"] == len(spec.points())
+    assert plan["totals"]["decode"] == len(spec.points())
+    # shot-cap worst case on an empty store: every batch of every point
+    per_point = spec.max_shots // spec.batch_shots
+    assert plan["totals"]["batches_remaining"] == per_point * len(spec.points())
+    assert plan["totals"]["est_new_shots"] == spec.max_shots * len(spec.points())
+
+    # a partially-run store: the plan reflects committed work, still read-only
+    store = ResultStore(root)
+    partial = run_sweep(spec, store, workers=2, speculate=3, batch_limit=4)
+    assert partial.interrupted
+    before = _tree_snapshot(root)
+    plan2 = plan_sweep(spec, store)
+    assert _tree_snapshot(root) == before  # byte-for-byte untouched
+    assert plan2["totals"]["est_new_shots"] < plan["totals"]["est_new_shots"]
+    statuses = {row["status"] for row in plan2["points"]}
+    assert statuses <= {"partial", "converged", "missing"}
+
+    # a finished store plans zero work
+    reset_warm_state()
+    run_sweep(spec, store)
+    plan3 = plan_sweep(spec, store)
+    assert plan3["totals"]["batches_remaining"] == 0
+    assert plan3["totals"]["est_new_shots"] == 0
+    assert all(row["status"] == "converged" for row in plan3["points"])
+
+
+# ---------------------------------------------------------------------------
+# worker crash: checkpoint in finally, ledger error, clean resume
+# ---------------------------------------------------------------------------
+
+#: (entropy, spawn_key) of the one batch _poisonable_run_task should fail;
+#: module-level so fork-started pool workers inherit it, and picklable by
+#: reference so ProcessPoolExecutor can ship the patched callable
+_POISON = None
+_REAL_RUN_TASK = None
+
+
+def _poisonable_run_task(task):
+    seed = task.seed
+    if (
+        _POISON is not None
+        and getattr(seed, "entropy", None) == _POISON[0]
+        and tuple(getattr(seed, "spawn_key", ()) or ()) == tuple(_POISON[1])
+    ):
+        raise RuntimeError("poisoned batch")
+    return _REAL_RUN_TASK(task)
+
+
+@pytest.mark.parametrize("workers", [1, 2])  # inline executor and real pool
+def test_worker_crash_checkpoints_and_resumes(tmp_path, monkeypatch, workers):
+    global _POISON, _REAL_RUN_TASK
+    from repro.experiments import parallel
+    from repro.obs import RunLedger
+    from repro.store import batch_entropy
+
+    spec = _spec()
+    clean = {
+        k: _scrub(r)
+        for k, r in _records(run_sweep(spec, ResultStore(tmp_path / "c"))).items()
+    }
+    reset_warm_state()
+
+    # poison the third batch of the last sweep point: every point of this
+    # spec decodes >= 4 batches, so both schedulers genuinely reach it
+    target = spec.points()[-1]
+    target_key = target.key(seed=spec.seed, batch_shots=spec.batch_shots)
+    _REAL_RUN_TASK = parallel._run_task.__wrapped__ if hasattr(
+        parallel._run_task, "__wrapped__"
+    ) else parallel._run_task
+    _POISON = batch_entropy(spec.seed, target_key, 2)
+    monkeypatch.setattr(parallel, "_run_task", _poisonable_run_task)
+
+    store = ResultStore(tmp_path / "s")
+    try:
+        with pytest.raises(RuntimeError, match="poisoned batch"):
+            run_sweep(spec, store, workers=workers, speculate=3, ledger=True)
+    finally:
+        _POISON = None
+
+    # the ledger closed the run as an error
+    ledger = RunLedger.for_store(store)
+    rid = ledger.latest()
+    assert rid is not None
+    assert ledger.status(rid) == "error"
+    # partial point records were checkpointed despite the crash
+    assert any(store.get(k) is not None for k in clean)
+    # sibling work that had already decoded stayed committed: log entries at
+    # or past each record's applied prefix are what a resume can replay
+    ahead = sum(
+        sum(
+            1
+            for i in store.batch_indices(k)
+            if i >= (store.get(k) or {}).get("batches", 0)
+        )
+        for k in clean
+    )
+
+    reset_warm_state()
+    resumed = run_sweep(spec, store, workers=workers, speculate=3)
+    assert not resumed.interrupted
+    got = {k: _scrub(r) for k, r in _records(resumed).items()}
+    assert got == clean  # bit-identical to the uninterrupted run
+    if ahead:  # committed batches replayed instead of re-decoding
+        assert resumed.batches_replayed > 0
