@@ -1,100 +1,38 @@
-"""Shared helpers for the per-figure benchmark harness.
+"""Back-compat shim over :mod:`repro.figures.bench`.
 
-Every benchmark regenerates the data behind one of the paper's tables or
-figures, prints the rows/series the paper reports, and writes them to
-``benchmarks/results/<name>.json`` so EXPERIMENTS.md can be refreshed.
+The harness helpers (env knobs, ``record``/``record_merge``, ``run_once``)
+were promoted into the public package so the CLI and the benchmarks share
+one implementation and the knob catalogue is lint-checkable
+(``contract-env-docs``; see docs/FIGURES.md).  This shim keeps the
+historical import path working for the non-figure benchmarks and pins the
+results directory to the repo's ``benchmarks/results`` regardless of the
+pytest working directory.
 
-Scaling knobs (environment variables):
-
-* ``REPRO_BENCH_SHOTS``     — shots per LER configuration (default 12000)
-* ``REPRO_BENCH_DISTANCES`` — comma-separated distances (default "3,5")
-* ``REPRO_BENCH_SEED``      — RNG seed (default 2025)
-
-The paper's full-scale runs used 100M shots and d up to 15 on 128 cores for
-days; these defaults finish on a laptop while preserving the comparisons.
+Scaling knobs (environment variables): ``REPRO_BENCH_SHOTS``,
+``REPRO_BENCH_DISTANCES``, ``REPRO_BENCH_SEED`` — documented with defaults
+in docs/FIGURES.md.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
+
+from repro.figures.bench import (  # noqa: F401  (re-exported for the harness)
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    run_once,
+)
+from repro.figures import bench as _bench
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def bench_shots(default: int = 12_000) -> int:
-    return int(os.environ.get("REPRO_BENCH_SHOTS", default))
-
-
-def bench_distances(default=(3, 5)) -> tuple[int, ...]:
-    raw = os.environ.get("REPRO_BENCH_DISTANCES")
-    if raw is None:
-        return tuple(default)
-    return tuple(int(x) for x in raw.split(",") if x.strip())
-
-
-def bench_seed() -> int:
-    return int(os.environ.get("REPRO_BENCH_SEED", 2025))
-
-
 def record(name: str, data) -> None:
-    """Persist benchmark output and echo it for the harness log.
-
-    Dict-shaped outputs get a uniform ``meta`` provenance block (python,
-    platform, cpu count, store salt, timestamp) stamped in — the same keys
-    ``repro bench record`` carries into the perf history, so ad-hoc results
-    and history entries are comparable (``meta`` is excluded from the
-    history's numeric series).
-    """
-    if isinstance(data, dict):
-        from repro.obs import provenance_meta
-
-        data = dict(data, meta=provenance_meta())
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    with open(path, "w") as f:
-        json.dump(data, f, indent=2, default=_jsonable)
-    print(f"\n[{name}] -> {path}")
+    """Persist benchmark output under ``benchmarks/results`` (shim)."""
+    _bench.record(name, data, results_dir=RESULTS_DIR)
 
 
 def record_merge(name: str, sections: dict) -> None:
-    """Merge per-section rows into one results JSON.
-
-    Lets several benchmark tests contribute to the same file (e.g.
-    ``decode_backends.json``: one section per decoder path) without the
-    last writer clobbering the others.  A legacy flat layout (a single
-    top-level row) is discarded on first merge.
-    """
-    path = RESULTS_DIR / f"{name}.json"
-    merged = {}
-    if path.exists():
-        try:
-            with open(path) as f:
-                merged = json.load(f)
-        except ValueError:
-            merged = {}
-    if not isinstance(merged, dict) or "config" in merged:
-        merged = {}  # legacy flat layout: replaced by per-section rows
-    merged.pop("meta", None)  # restamped by record() with fresh provenance
-    merged.update(sections)
-    record(name, merged)
-
-
-def _jsonable(obj):
-    import numpy as np
-
-    if isinstance(obj, np.ndarray):
-        return obj.tolist()
-    if isinstance(obj, (np.integer,)):
-        return int(obj)
-    if isinstance(obj, (np.floating,)):
-        return float(obj)
-    if hasattr(obj, "__dict__"):
-        return {k: v for k, v in vars(obj).items() if not k.startswith("_")}
-    return str(obj)
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an expensive experiment exactly once under pytest-benchmark."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Merge per-section rows into one results JSON (shim)."""
+    _bench.record_merge(name, sections, results_dir=RESULTS_DIR)

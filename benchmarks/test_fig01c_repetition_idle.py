@@ -1,27 +1,25 @@
 """Fig. 1(c): repetition-code LER vs idling period before the final round."""
 
-from repro.experiments.figures import fig1c_repetition_idle
+from repro.figures import build_figure, format_table
+from repro.figures.bench import bench_seed, bench_shots, record_figure, run_once
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig1c_repetition_idle(benchmark):
-    data = run_once(
+    result = run_once(
         benchmark,
-        fig1c_repetition_idle,
-        shots=bench_shots(20_000),
-        rng=bench_seed(),
+        build_figure,
+        "fig1c",
+        {"shots": bench_shots(20_000), "seed": bench_seed()},
+        store=False,
     )
-    rows = sorted(data.items())
-    print("\nidle_ns   LER(|0>_L)   LER(|1>_L)")
-    for idle, rates in rows:
-        print(f"{idle:7.0f}   {rates['zero']:.4f}      {rates['one']:.4f}")
-    record("fig1c", {str(k): v for k, v in data.items()})
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    rows = result.rows  # sorted by idle_ns
     # shape: LER grows sharply with the idling period (paper: 1e-2 -> ~1e-1)
-    first = data[min(data)]["zero"]
-    last = data[max(data)]["zero"]
-    assert last > 1.5 * first
+    assert rows[-1]["ler_zero"] > 1.5 * rows[0]["ler_zero"]
     # the two logical preparations behave alike
-    for rates in data.values():
-        assert abs(rates["zero"] - rates["one"]) < 0.05
+    for r in rows:
+        assert abs(r["ler_zero"] - r["ler_one"]) < 0.05

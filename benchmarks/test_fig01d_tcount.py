@@ -1,30 +1,34 @@
 """Fig. 1(d): normalized T-count headroom enabled by Active synchronization."""
 
-from repro.core import make_policy
-from repro.experiments import SurgeryLerConfig, run_surgery_ler
-from repro.experiments.figures import fig1d_tcount_headroom
-from repro.noise import IBM
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig1d_tcount_headroom(benchmark):
-    def run():
-        d = bench_distances()[-1]
-        out = {}
-        for name in ("passive", "active"):
-            cfg = SurgeryLerConfig(
-                distance=d, hardware=IBM, policy_name=name, tau_ns=1000.0
-            )
-            res = run_surgery_ler(cfg, make_policy(name), bench_shots(), bench_seed())
-            out[name] = res.estimates[1].rate
-        return out
+    result = run_once(
+        benchmark,
+        build_figure,
+        "fig1d",
+        {
+            "distance": bench_distances()[-1],
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
+    )
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    lers = run_once(benchmark, run)
-    headroom = fig1d_tcount_headroom(lers["passive"], lers["active"])
-    print(f"\nnormalized T count (Active vs Passive): {headroom:.2f}x (paper: up to 2.40x)")
-    record("fig1d", {"ler": lers, "norm_t_count": headroom})
-
+    headroom = result.rows[0]["norm_t_count"]
+    print(f"normalized T count (Active vs Passive): {headroom:.2f}x (paper: up to 2.40x)")
     # Active must enable at least as deep a circuit; the paper's 2.4x needs
     # d=15 at 100M shots, so at laptop scale we assert the direction + bound
     assert headroom > 0.9

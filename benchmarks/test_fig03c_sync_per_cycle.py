@@ -1,38 +1,17 @@
 """Fig. 3(c): minimum synchronizations per logical cycle per workload."""
 
-from repro.experiments.figures import fig3c_syncs_per_cycle
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 
-from _helpers import record, run_once
-
-#: cycle counts the paper annotates above the Fig. 3c bars
-PAPER_CYCLES = {
-    "multiplier-75": 3255,
-    "wstate-118": 2224,
-    "shor-15": 118693,
-    "qpe-80": 16225,
-    "qft-80": 13246,
-    "ising-98": 582,
-}
+from _helpers import RESULTS_DIR
 
 
 def test_fig3c_syncs_per_cycle(benchmark):
-    table = run_once(benchmark, fig3c_syncs_per_cycle)
-    print("\nworkload        T-count   cycles    sync/cycle  (paper cycles)")
-    rows = {}
-    for est in table:
-        print(
-            f"{est.name:14s} {est.resources.t_count:8d} {est.total_cycles:9d} "
-            f"{est.syncs_per_cycle:9.2f}   ({PAPER_CYCLES[est.name]})"
-        )
-        rows[est.name] = {
-            "t_count": est.resources.t_count,
-            "total_cycles": est.total_cycles,
-            "syncs_per_cycle": est.syncs_per_cycle,
-            "paper_cycles": PAPER_CYCLES[est.name],
-        }
-    record("fig3c", rows)
+    result = run_once(benchmark, build_figure, "fig3c", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    rates = {est.name: est.syncs_per_cycle for est in table}
+    rates = {r["workload"]: r["syncs_per_cycle"] for r in result.rows}
     # paper shape: every workload synchronizes, qft/qpe are the hungriest,
     # and the range spans roughly one to eleven per cycle
     assert all(r > 0 for r in rates.values())

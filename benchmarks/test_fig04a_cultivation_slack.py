@@ -1,29 +1,23 @@
 """Fig. 4(a): cultivation-induced slack distributions (IBM/Google, p sweep)."""
 
-from repro.experiments.figures import fig4a_cultivation_slack
+from repro.figures import build_figure, format_table
+from repro.figures.bench import bench_seed, bench_shots, record_figure, run_once
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig4a_cultivation_slack(benchmark):
-    data = run_once(
-        benchmark, fig4a_cultivation_slack, shots=bench_shots(100_000), rng=bench_seed()
+    result = run_once(
+        benchmark,
+        build_figure,
+        "fig4a",
+        {"shots": bench_shots(100_000), "seed": bench_seed()},
+        store=False,
     )
-    print("\nsystem  p       median(ns)  mean(ns)  p95(ns)")
-    rows = {}
-    for (hw, p), dist in sorted(data.items()):
-        print(
-            f"{hw:7s} {p:.4f}  {dist.median_ns:8.0f}  {dist.mean_ns:8.0f}  "
-            f"{dist.percentile(95):8.0f}"
-        )
-        rows[f"{hw}_p{p}"] = {
-            "median_ns": dist.median_ns,
-            "mean_ns": dist.mean_ns,
-            "p95_ns": dist.percentile(95),
-        }
-    record("fig4a", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
     # paper band: average-case slack ~500 ns, worst-case ~1000 ns
-    for (hw, p), dist in data.items():
-        assert 100 < dist.mean_ns < 1500
-        assert dist.percentile(95) < 2100
+    for r in result.rows:
+        assert 100 < r["mean_ns"] < 1500
+        assert r["p95_ns"] < 2100

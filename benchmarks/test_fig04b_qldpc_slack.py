@@ -2,21 +2,24 @@
 
 import numpy as np
 
-from repro.experiments.figures import fig4b_qldpc_slack
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 from repro.noise import GOOGLE, IBM
 
-from _helpers import record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig4b_qldpc_slack(benchmark):
-    data = run_once(benchmark, fig4b_qldpc_slack, rounds=100)
-    print("\nrounds 0..10, slack (ns):")
-    for name, series in data.items():
-        print(f"{name:7s} {[int(s) for s in series[:11]]}")
-    record("fig4b", {k: v for k, v in data.items()})
+    result = run_once(benchmark, build_figure, "fig4b", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
     for name, hw in (("ibm", IBM), ("google", GOOGLE)):
-        series = np.asarray(data[name])
+        rows = sorted(
+            (r for r in result.rows if r["hardware"] == name),
+            key=lambda r: r["round"],
+        )
+        series = np.asarray([r["slack_ns"] for r in rows])
         # deterministic sawtooth bounded by the surface-code cycle
         assert series[0] == 0.0
         assert series.max() < hw.cycle_time_ns

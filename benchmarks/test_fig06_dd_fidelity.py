@@ -1,19 +1,20 @@
 """Fig. 6: physical-qubit fidelity, Passive vs Active idle windows under DD."""
 
-from repro.experiments.figures import fig6_dd_fidelity
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 
-from _helpers import record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig6_dd_fidelity(benchmark):
-    data = run_once(benchmark, fig6_dd_fidelity)
-    for n, rows in data.items():
-        print(f"\nN = {n}:  tp(us)  passive  active")
-        for row in rows:
-            print(f"        {row['tp_us']:5.1f}   {row['passive']:.3f}   {row['active']:.3f}")
-    record("fig6", {str(k): v for k, v in data.items()})
+    result = run_once(benchmark, build_figure, "fig6", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    for n, rows in data.items():
+    by_n = {}
+    for r in result.rows:
+        by_n.setdefault(r["windows"], []).append(r)
+    for n, rows in by_n.items():
         for row in rows:
             # active (split windows) always at least matches passive
             assert row["active"] >= row["passive"] - 1e-12
@@ -21,8 +22,8 @@ def test_fig6_dd_fidelity(benchmark):
         passives = [r["passive"] for r in rows]
         assert passives == sorted(passives, reverse=True)
     # splitting into more windows helps more (N=200 beats N=20)
-    by_tp_20 = {r["tp_us"]: r["active"] for r in data[20]}
-    by_tp_200 = {r["tp_us"]: r["active"] for r in data[200]}
+    by_tp_20 = {r["tp_us"]: r["active"] for r in by_n[20]}
+    by_tp_200 = {r["tp_us"]: r["active"] for r in by_n[200]}
     assert all(by_tp_200[tp] >= by_tp_20[tp] for tp in by_tp_20)
     # the mean-fidelity scale matches the hardware figure (~0.4-0.9)
-    assert 0.35 < min(p for r in data.values() for p in [x["passive"] for x in r]) < 0.95
+    assert 0.35 < min(r["passive"] for r in result.rows) < 0.95

@@ -2,52 +2,46 @@
 
 import numpy as np
 
-from repro.experiments.figures import fig7_hamming_weight
+from repro.figures import build_figure, format_table
+from repro.figures.bench import bench_seed, bench_shots, record_figure, run_once
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig7_hamming_weight(benchmark):
-    data = run_once(
+    result = run_once(
         benchmark,
-        fig7_hamming_weight,
-        distance=5,
-        tau_ns=1000.0,
-        shots=bench_shots(),
-        rng=bench_seed(),
-    )
-    record(
+        build_figure,
         "fig7",
-        {
-            name: {
-                "weight_per_round": d.weight_per_round,
-                "ler_by_weight": d.ler_by_weight,
-                "merge_round": d.merge_round_label,
-            }
-            for name, d in data.items()
-        },
+        {"shots": bench_shots(), "seed": bench_seed()},
+        store=False,
     )
-    passive, active = data["passive"], data["active"]
-    merge = passive.merge_round_label
-    print("\nround  passive_wt  active_wt")
-    for r in sorted(passive.weight_per_round):
-        print(
-            f"{r:4d}   {passive.weight_per_round[r]:8.2f}   "
-            f"{active.weight_per_round.get(r, float('nan')):8.2f}"
-        )
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
+
+    weight_per_round = {"passive": {}, "active": {}}
+    ler_rows = []
+    merge = None
+    for r in result.rows:
+        if r["kind"] == "weight_per_round":
+            weight_per_round[r["policy"]][r["round"]] = r["mean_weight"]
+            if r["policy"] == "passive":
+                merge = r["merge_round"]
+        elif r["kind"] == "ler_by_weight" and r["policy"] == "passive":
+            ler_rows.append((r["weight"], r["shots"], r["failures"]))
 
     # (b) Passive spikes at the merge round; Active stays much flatter there
-    spike_passive = passive.weight_per_round[merge]
-    spike_active = active.weight_per_round[merge]
+    spike_passive = weight_per_round["passive"][merge]
+    spike_active = weight_per_round["active"][merge]
     assert spike_passive > 1.2 * spike_active
     # Active pays a slightly higher weight in earlier rounds
-    pre_rounds = [r for r in passive.weight_per_round if 0 < r < merge]
-    pre_p = np.mean([passive.weight_per_round[r] for r in pre_rounds])
-    pre_a = np.mean([active.weight_per_round[r] for r in pre_rounds])
+    pre_rounds = [r for r in weight_per_round["passive"] if 0 < r < merge]
+    pre_p = np.mean([weight_per_round["passive"][r] for r in pre_rounds])
+    pre_a = np.mean([weight_per_round["active"][r] for r in pre_rounds])
     assert pre_a >= pre_p
 
     # (a) higher Hamming weight -> higher LER (compare low vs high tercile)
-    rows = np.array(passive.ler_by_weight, dtype=float)
+    rows = np.array(ler_rows, dtype=float)
     weights, shots_per, fails = rows[:, 0], rows[:, 1], rows[:, 2]
     cut = np.percentile(np.repeat(weights, shots_per.astype(int)), 66)
     low = fails[weights <= cut].sum() / max(shots_per[weights <= cut].sum(), 1)

@@ -1,17 +1,16 @@
 """Fig. 10: extra rounds needed for synchronization — exact paper values."""
 
-from repro.experiments.figures import fig10_extra_rounds_configs
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 
-from _helpers import record, run_once
+from _helpers import RESULTS_DIR
 
 PAPER_VALUES = [None, 5, 11, 22, 26, 52, 34, 68]
 
 
 def test_fig10_extra_rounds(benchmark):
-    rows = run_once(benchmark, fig10_extra_rounds_configs)
-    print("\nT_P    T_P'   tau    extra rounds (paper)")
-    for row, paper in zip(rows, PAPER_VALUES):
-        shown = "Not possible" if row["extra_rounds"] is None else row["extra_rounds"]
-        print(f"{row['t_p']:5d} {row['t_pp']:6d} {row['tau']:5d}   {shown} ({paper})")
-    record("fig10", rows)
-    assert [row["extra_rounds"] for row in rows] == PAPER_VALUES
+    result = run_once(benchmark, build_figure, "fig10", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
+
+    assert [row["extra_rounds"] for row in result.rows] == PAPER_VALUES

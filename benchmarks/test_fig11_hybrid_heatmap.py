@@ -1,25 +1,30 @@
 """Fig. 11: Hybrid-policy feasibility heatmap over (tau, T_P') for two eps."""
 
-from repro.experiments.figures import fig11_hybrid_heatmap
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 
-from _helpers import record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig11_hybrid_heatmap(benchmark):
-    grids = run_once(benchmark, fig11_hybrid_heatmap)
-    summary = {}
-    for eps, grid in grids.items():
-        solvable = sum(1 for v in grid.values() if v is not None)
-        total = len(grid)
-        summary[str(eps)] = {"solvable": solvable, "total": total}
-        print(f"\neps={eps} ns: {solvable}/{total} (tau, T_P') cells solvable within z<=5")
-    record("fig11", summary)
+    result = run_once(benchmark, build_figure, "fig11", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
+
+    solvable = {}
+    for r in result.rows:
+        n_ok, n_total = solvable.get(r["eps"], (0, 0))
+        solvable[r["eps"]] = (n_ok + (r["extra_rounds"] is not None), n_total + 1)
+    for eps, (n_ok, n_total) in sorted(solvable.items()):
+        print(f"eps={eps} ns: {n_ok}/{n_total} (tau, T_P') cells solvable within z<=5")
 
     # paper shape: a larger tolerance opens up many more configurations
-    assert summary["400"]["solvable"] > 2 * summary["100"]["solvable"]
+    assert solvable[400][0] > 2 * solvable[100][0]
     # every recorded z obeys the z <= 5 bound used in the paper
-    for grid in grids.values():
-        assert all(v is None or 1 <= v <= 5 for v in grid.values())
+    assert all(
+        r["extra_rounds"] is None or 1 <= r["extra_rounds"] <= 5 for r in result.rows
+    )
     # equal cycle times are never solvable by extra rounds
-    for grid in grids.values():
-        assert all(v is None for (tau, tpp), v in grid.items() if tpp == 1000)
+    assert all(
+        r["extra_rounds"] is None for r in result.rows if r["t_pp"] == 1000
+    )

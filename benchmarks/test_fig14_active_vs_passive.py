@@ -13,30 +13,29 @@ pytestmark = pytest.mark.slow
 
 import numpy as np
 
-from repro.experiments.figures import fig14_active_vs_passive
-from repro.noise import GOOGLE, IBM
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
-def _run(benchmark, hardware, tag, shots):
-    rows = run_once(
+def _run(benchmark, figure, shots):
+    result = run_once(
         benchmark,
-        fig14_active_vs_passive,
-        distances=bench_distances(),
-        taus_ns=(500.0, 1000.0),
-        shots=shots,
-        hardware=hardware,
-        rng=bench_seed(),
+        build_figure,
+        figure,
+        {"distances": bench_distances(), "shots": shots, "seed": bench_seed()},
+        store=False,
     )
-    print(f"\n{tag}: d  tau    obs     LER_passive  LER_active  reduction")
-    for r in rows:
-        print(
-            f"  {r['distance']}  {r['tau_ns']:6.0f} {r['observable']:7s} "
-            f"{r['ler_passive']:.5f}     {r['ler_active']:.5f}    {r['reduction']:.2f}x"
-        )
-    record(f"fig14_{tag}", rows)
-    return rows
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
+    return result.rows
 
 
 def test_fig14_ibm(benchmark):
@@ -45,22 +44,30 @@ def test_fig14_ibm(benchmark):
     # the multi-seed spot-check in EXPERIMENTS.md).  Certifying the direction
     # at bench scale would need ~300k+ shots, so this twin records the data
     # and asserts sanity bounds; the Google twin carries the direction claim.
-    rows = _run(benchmark, IBM, "ibm", shots=4 * bench_shots())
-    reductions = [r["reduction"] for r in rows if np.isfinite(r["reduction"])]
+    # Non-finite reductions serialize as None in figure rows — drop them.
+    rows = _run(benchmark, "fig14_ibm", shots=4 * bench_shots())
+    reductions = [r["reduction"] for r in rows if r["reduction"] is not None]
     assert all(0.4 < v < 4.0 for v in reductions)
     assert np.mean(reductions) > 0.8
 
 
 def test_fig14_google(benchmark):
-    rows = _run(benchmark, GOOGLE, "google", shots=bench_shots())
+    rows = _run(benchmark, "fig14_google", shots=bench_shots())
     # shape: Active never loses badly, and wins on average; the contrast is
     # strongest at the largest distance (the paper's rising curves)
-    reductions = [r["reduction"] for r in rows if np.isfinite(r["reduction"])]
+    reductions = [r["reduction"] for r in rows if r["reduction"] is not None]
     assert np.mean(reductions) > 1.0
     d_max = max(r["distance"] for r in rows)
-    top = [r["reduction"] for r in rows if r["distance"] == d_max and np.isfinite(r["reduction"])]
+    top = [
+        r["reduction"]
+        for r in rows
+        if r["distance"] == d_max and r["reduction"] is not None
+    ]
     assert np.mean(top) > 1.0
     # the larger slack shows the larger (or equal) benefit on the same d/obs
-    by_key = {(r["distance"], r["observable"], r["tau_ns"]): r["reduction"] for r in rows}
-    big_tau = [v for (d, o, t), v in by_key.items() if t == 1000.0]
+    big_tau = [
+        r["reduction"]
+        for r in rows
+        if r["tau_ns"] == 1000.0 and r["reduction"] is not None
+    ]
     assert np.mean(big_tau) >= 0.9 * np.mean(reductions)

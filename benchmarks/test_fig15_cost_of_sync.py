@@ -5,25 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import fig15_cost_of_synchronization
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig15_cost_of_sync(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig15_cost_of_synchronization,
-        distances=bench_distances(),
-        tau_ns=1000.0,
-        shots=bench_shots(),
-        rng=bench_seed(),
+        build_figure,
+        "fig15",
+        {
+            "distances": bench_distances(),
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nd  policy   LER(joint)   LER(single)")
-    for r in rows:
-        print(f"{r['distance']}  {r['policy']:8s} {r['ler_joint']:.5f}   {r['ler_single']:.5f}")
-    record("fig15", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    rows = result.rows
     by_key = {(r["distance"], r["policy"]): r["ler_joint"] for r in rows}
     distances = sorted({r["distance"] for r in rows})
     # at small d the three curves are within shot noise of each other (as in

@@ -5,27 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import fig16_workload_ler_increase
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig16_workload_ler(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig16_workload_ler_increase,
-        distance=bench_distances_first(),
-        shots=bench_shots(),
-        rng=bench_seed(),
+        build_figure,
+        "fig16",
+        {
+            "distance": bench_distances()[-1],
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nworkload        sync/cycle  passive(tau=1us)  passive(tau=0.5us)  active")
-    for r in rows:
-        print(
-            f"{r['workload']:14s} {r['syncs_per_cycle']:9.2f}  "
-            f"{r['passive_tau1000']:12.2f}x  {r['passive_tau500']:13.2f}x  {r['active']:6.2f}x"
-        )
-    record("fig16", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    rows = result.rows
     for r in rows:
         # passive costs at least as much as active (up to per-point shot noise)
         assert r["passive_tau1000"] >= 0.85 * r["active"]
@@ -33,9 +40,3 @@ def test_fig16_workload_ler(benchmark):
     # synchronization-hungry workloads suffer the most under Passive
     by_name = {r["workload"]: r for r in rows}
     assert by_name["qft-80"]["passive_tau1000"] > by_name["ising-98"]["passive_tau1000"]
-
-
-def bench_distances_first():
-    from _helpers import bench_distances
-
-    return bench_distances()[-1]

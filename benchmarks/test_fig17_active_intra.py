@@ -7,26 +7,37 @@ pytestmark = pytest.mark.slow
 
 import numpy as np
 
-from repro.experiments.figures import fig17_active_intra
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig17_active_intra(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig17_active_intra,
-        distances=bench_distances(),
-        taus_ns=(500.0, 1000.0),
-        shots=bench_shots(),
-        rng=bench_seed(),
+        build_figure,
+        "fig17",
+        {
+            "distances": bench_distances(),
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nd  tau     reduction(passive/active_intra)")
-    for r in rows:
-        print(f"{r['distance']}  {r['tau_ns']:6.0f}  {r['reduction']:.2f}x")
-    record("fig17", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
     # the paper's point: Active-intra hovers near 1x (sometimes below),
-    # never approaching Active's gains, because measure qubits also idle
-    reductions = [r["reduction"] for r in rows if np.isfinite(r["reduction"])]
+    # never approaching Active's gains, because measure qubits also idle.
+    # Non-finite reductions serialize as None in figure rows — drop them.
+    reductions = [
+        r["reduction"] for r in result.rows if r["reduction"] is not None
+    ]
     assert 0.6 < np.mean(reductions) < 1.6

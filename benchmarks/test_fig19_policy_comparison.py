@@ -5,28 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import fig19_policy_comparison
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig19_policy_comparison(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig19_policy_comparison,
-        distance=bench_distances()[-1],
-        taus_ns=(500.0, 1000.0),
-        eps_values_ns=(100.0, 400.0),
-        shots=bench_shots(),
-        t_pp_values_ns=(1050.0, 1150.0),
-        rng=bench_seed(),
+        build_figure,
+        "fig19",
+        {
+            "distance": bench_distances()[-1],
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\npolicy          tau     reduction vs passive")
-    for r in rows:
-        print(f"{r['policy']:14s} {r['tau_ns']:6.0f}  {r['reduction']:.2f}x")
-    record("fig19", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    by_key = {(r["policy"], r["tau_ns"]): r["reduction"] for r in rows}
+    by_key = {(r["policy"], r["tau_ns"]): r["reduction"] for r in result.rows}
     # every policy's reduction is a sane positive ratio
     assert all(0.02 < v < 10 for v in by_key.values())
     # the paper's headline for large tau: hybrid (generous eps) beats pure

@@ -1,26 +1,30 @@
 """Fig. 20: synchronization-planning CPU time and workload CNOT widths."""
 
-from repro.experiments.figures import fig20_engine_scaling
+from repro.figures import build_figure, format_table
+from repro.figures.bench import bench_seed, record_figure, run_once
 
-from _helpers import bench_seed, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig20_engine_scaling(benchmark):
-    data = run_once(benchmark, fig20_engine_scaling, rng=bench_seed())
-    print("\npatches  cpu_time")
-    for row in data["timing"]:
-        print(f"{row['patches']:7d}  {row['cpu_time_s']*1e6:8.2f} us")
-    print("\nworkload        max concurrent CNOTs")
-    for row in data["max_concurrent_cnots"]:
-        print(f"{row['workload']:14s}  {row['max_concurrent_cnots']}")
-    record("fig20", data)
+    result = run_once(
+        benchmark, build_figure, "fig20", {"seed": bench_seed()}, store=False
+    )
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    times = {row["patches"]: row["cpu_time_s"] for row in data["timing"]}
+    times = {
+        r["patches"]: r["cpu_time_s"] for r in result.rows if r["kind"] == "timing"
+    }
     # planning 50 patches stays comfortably sub-millisecond (paper: ~10 us
     # with 1024 threads; our single-threaded software model is the same order)
     assert times[50] < 1e-3
     # scaling is mild (linear in k, not quadratic blowup)
     assert times[50] < 100 * max(times[2], 1e-7)
-    widths = {r["workload"]: r["max_concurrent_cnots"] for r in data["max_concurrent_cnots"]}
+    widths = {
+        r["workload"]: r["max_concurrent_cnots"]
+        for r in result.rows
+        if r["kind"] == "max_concurrent_cnots"
+    }
     # the paper caps its study at 50 concurrent synchronized operations
     assert max(widths.values()) >= 10

@@ -2,25 +2,24 @@
 
 import numpy as np
 
-from repro.experiments.figures import fig21_neutral_atom
+from repro.figures import build_figure, format_table
+from repro.figures.bench import bench_seed, bench_shots, record_figure, run_once
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig21_neutral_atom(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig21_neutral_atom,
-        distance=3,
-        taus_ms=(0.2, 1.0, 2.0),
-        shots=bench_shots(),
-        rng=bench_seed(),
+        build_figure,
+        "fig21",
+        {"shots": bench_shots(), "seed": bench_seed()},
+        store=False,
     )
-    print("\ntau(ms)  policy   reduction  extra_rounds")
-    for r in rows:
-        print(f"{r['tau_ms']:6.1f}  {r['policy']:7s}  {r['reduction']:.2f}x      {r['extra_rounds']}")
-    record("fig21", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    rows = result.rows
     active = [r["reduction"] for r in rows if r["policy"] == "active"]
     hybrid = [r["reduction"] for r in rows if r["policy"] == "hybrid"]
     # long coherence times make idling nearly free: Active ~ Passive (~1x)

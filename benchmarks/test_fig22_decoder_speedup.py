@@ -1,28 +1,33 @@
 """Fig. 22: decode-latency speedup from Active synchronization (LUT + MWPM)."""
 
-from repro.experiments.figures import fig22_decoder_speedup
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_fig22_decoder_speedup(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        fig22_decoder_speedup,
-        distances=bench_distances((3, 5)),
-        tau_ns=1000.0,
-        shots=min(bench_shots(), 4000),
-        rng=bench_seed(),
+        build_figure,
+        "fig22",
+        {
+            "distances": bench_distances((3, 5)),
+            "shots": min(bench_shots(), 4000),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nd  hit(passive)  hit(active)  speedup")
-    for r in rows:
-        print(
-            f"{r['distance']}  {r['hit_rate_passive']:.3f}        "
-            f"{r['hit_rate_active']:.3f}       {r['speedup']:.3f}x"
-        )
-    record("fig22", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    for r in rows:
+    for r in result.rows:
         # Active's flatter per-round syndromes hit the LUT at least as often
         assert r["hit_rate_active"] >= r["hit_rate_passive"] - 0.005
         if r["distance"] <= 3:

@@ -5,29 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import table1_error_counts
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_table1_error_counts(benchmark):
-    table = run_once(
+    result = run_once(
         benchmark,
-        table1_error_counts,
-        distances=bench_distances(),
-        slacks_ns=(500.0, 1000.0),
-        shots=bench_shots(),
-        rng=bench_seed(),
+        build_figure,
+        "table1",
+        {
+            "distances": bench_distances(),
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nslack   d   errors(passive)  errors(active)  %reduction")
-    for row in table:
-        print(
-            f"{row['slack_ns']:5.0f} {row['distance']:3d}   "
-            f"{row['errors_passive']:10d}   {row['errors_active']:12d}   "
-            f"{row['pct_reduction']:6.1f}%"
-        )
-    record("table1", table)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    table = result.rows
     # paper shape: Active reduces the error count in aggregate, and errors
     # drop with distance for both policies
     total_p = sum(r["errors_passive"] for r in table)

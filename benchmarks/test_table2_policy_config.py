@@ -5,25 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import table2_policy_configuration
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_table2_policy_config(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        table2_policy_configuration,
-        shots=bench_shots(),
-        distance=bench_distances_last(),
-        rng=bench_seed(),
+        build_figure,
+        "table2",
+        {
+            "distance": bench_distances()[-1],
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\npolicy        idle(ns)  extra_rounds  LER")
-    for r in rows:
-        print(f"{r['policy']:12s} {r['idle_ns']:7.0f}  {r['extra_rounds']:10d}  {r['ler']:.5f}")
-    record("table2", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    by_policy = {r["policy"]: r for r in rows}
+    by_policy = {r["policy"]: r for r in result.rows}
     # the schedule arithmetic must match the paper's Table 2 exactly
     assert by_policy["active"]["idle_ns"] == 1000.0
     assert by_policy["active"]["extra_rounds"] == 0
@@ -38,9 +47,3 @@ def test_table2_policy_config(benchmark):
     assert by_policy["extra_rounds"]["ler"] > 2.0 * by_policy["active"]["ler"]
     assert by_policy["hybrid"]["ler"] < 0.7 * by_policy["extra_rounds"]["ler"]
     assert by_policy["hybrid"]["ler"] <= by_policy["active"]["ler"] * 1.6
-
-
-def bench_distances_last():
-    from _helpers import bench_distances
-
-    return bench_distances()[-1]

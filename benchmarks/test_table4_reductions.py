@@ -5,30 +5,34 @@ import pytest
 #: long-running regression: excluded from the fast gate (scripts/check.sh)
 pytestmark = pytest.mark.slow
 
-from repro.experiments.figures import table4_mean_reductions
+from repro.figures import build_figure, format_table
+from repro.figures.bench import (
+    bench_distances,
+    bench_seed,
+    bench_shots,
+    record_figure,
+    run_once,
+)
 
-from _helpers import bench_distances, bench_seed, bench_shots, record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_table4_mean_reductions(benchmark):
-    rows = run_once(
+    result = run_once(
         benchmark,
-        table4_mean_reductions,
-        distances=(bench_distances()[-1],),
-        tau_ns=1000.0,
-        shots=bench_shots(),
-        t_pp_values_ns=(1050.0, 1150.0),
-        rng=bench_seed(),
+        build_figure,
+        "table4",
+        {
+            "distances": (bench_distances()[-1],),
+            "shots": bench_shots(),
+            "seed": bench_seed(),
+        },
+        store=False,
     )
-    print("\nd   active   extra_rounds   hybrid(eps=400)")
-    for r in rows:
-        print(
-            f"{r['distance']}   {r['active']:.2f}x   {r['extra_rounds']:.2f}x"
-            f"        {r['hybrid']:.2f}x"
-        )
-    record("table4", rows)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
-    for r in rows:
+    for r in result.rows:
         # Active and Hybrid must at least be competitive with Passive
         assert r["active"] > 0.8
         assert r["hybrid"] > 0.8

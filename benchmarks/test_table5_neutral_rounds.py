@@ -1,17 +1,17 @@
 """Table 5: Hybrid extra rounds needed on neutral-atom systems."""
 
-from repro.experiments.figures import table5_neutral_atom_rounds
+from repro.figures import build_figure, format_table
+from repro.figures.bench import record_figure, run_once
 
-from _helpers import record, run_once
+from _helpers import RESULTS_DIR
 
 
 def test_table5_neutral_rounds(benchmark):
-    rows = run_once(benchmark, table5_neutral_atom_rounds)
-    print("\neps(ms)  tau(ms)  mean extra rounds")
-    for r in rows:
-        print(f"{r['eps_ms']:6.1f}  {r['tau_ms']:6.1f}  {r['mean_extra_rounds']}")
-    record("table5", rows)
+    result = run_once(benchmark, build_figure, "table5", store=False)
+    print("\n" + format_table(result.document()))
+    record_figure(result, results_dir=RESULTS_DIR)
 
+    rows = result.rows
     # every configuration is solvable and needs multiple multi-ms rounds —
     # exactly why Hybrid loses on neutral atoms (paper: 3-12 extra rounds)
     assert all(r["mean_extra_rounds"] is not None for r in rows)

@@ -107,6 +107,24 @@ python -m repro.cli sweep run "$OBS_TMP/check-ledger-spec.json" \
   --store "$OBS_TMP/store" --workers 0 --speculate 2 --no-ledger \
   | grep '"shots_decoded": 0' > /dev/null
 echo "sweep smoke: --dry-run read-only + inline executor store-served rerun ok"
+# figure-registry smoke (docs/FIGURES.md): list the registry, build one tiny
+# store-backed figure in all three export formats, schema-check the JSON and
+# Vega artifacts, then prove the warm rebuild is served from the figure
+# cache — zero decode calls and zero store writes (md5sum diff)
+python -m repro.cli figures list > /dev/null
+FIG_ARGS=(fig14_ibm --store "$OBS_TMP/figstore" --out "$OBS_TMP/figs" \
+  --param 'distances=[2]' --param 'taus_ns=[500.0]' --shots 120 --seed 7)
+python -m repro.cli figures build "${FIG_ARGS[@]}" \
+  --format json --format csv --format vega \
+  | grep "(built)" > /dev/null
+python scripts/validate_results.py \
+  --figure "$OBS_TMP/figs/fig14_ibm.json" \
+  --vega "$OBS_TMP/figs/fig14_ibm.vega.json"
+FIGSTORE_BEFORE="$(find "$OBS_TMP/figstore" -type f | sort | xargs md5sum)"
+python -m repro.cli figures build "${FIG_ARGS[@]}" | grep "(store)" > /dev/null
+[ "$FIGSTORE_BEFORE" = "$(find "$OBS_TMP/figstore" -type f | sort | xargs md5sum)" ] \
+  || { echo "figures smoke: warm rebuild wrote to the store" >&2; exit 1; }
+echo "figures smoke: build + schema validation + warm store-served rebuild ok"
 # perf-history smoke (docs/CI.md): fold results files into a throwaway
 # history, compare report-only, and schema-check the JSONL.  The speculation
 # benchmark rides along so its ratio metrics (speedup*, *_ratio, *_x —

@@ -19,6 +19,15 @@ Checks applied to every file:
 Files this repo's own benchmarks write also get required-key checks
 (``REQUIRED_KEYS``) so a refactor that renames a column fails loudly.
 
+Figure artifacts from the registry (docs/FIGURES.md) are recognised by
+their schema tag: any ``*.json`` whose top level carries
+``"schema": "repro.figures.result/v1"`` gets the uniform-document checks
+(identity block, columns, row/column consistency) in addition to the
+generic ones — so a results dir mixing legacy-shape files and registry
+documents validates both correctly.  ``--figure FILE`` and ``--vega FILE``
+apply the same checks to explicitly named exports (e.g. a CLI ``--out``
+directory).
+
 Observability artifacts (docs/OBSERVABILITY.md) are validated on demand:
 ``--trace FILE`` checks a ``repro.obs.trace/v1`` Chrome trace, ``--metrics
 FILE`` a ``repro.obs.metrics/v1`` snapshot, ``--ledger RUNDIR`` a run-ledger
@@ -30,6 +39,8 @@ Usage::
 
     python scripts/validate_results.py            # validate the repo's dir
     python scripts/validate_results.py DIR        # validate another dir
+    python scripts/validate_results.py --figure figures/fig15.json
+    python scripts/validate_results.py --vega figures/fig15.vega.json
     python scripts/validate_results.py --trace t.json --metrics m.json
     python scripts/validate_results.py --ledger store/runs/RUN_ID
     python scripts/validate_results.py --history benchmarks/history/history.jsonl
@@ -74,6 +85,13 @@ TRACE_SCHEMA = "repro.obs.trace/v1"
 METRICS_SCHEMA = "repro.obs.metrics/v1"
 RUN_SCHEMA = "repro.obs.run/v1"
 HISTORY_SCHEMA = "repro.bench.history/v1"
+
+#: schema tags of the figure-registry export layer (repro/figures/export.py)
+FIGURE_SCHEMA = "repro.figures.result/v1"
+VEGA_LITE_SCHEMA = "https://vega.github.io/schema/vega-lite/v5.json"
+
+#: required provenance keys in a figure document's meta block
+FIGURE_META_KEYS = {"python", "platform", "cpu_count", "store_salt", "recorded_at"}
 
 #: event names a run ledger may contain (repro/obs/ledger.py)
 LEDGER_EVENTS = {
@@ -292,6 +310,86 @@ def validate_history_file(path: Path) -> list[str]:
     return problems
 
 
+def validate_figure_file(path: Path) -> list[str]:
+    """All problems with one ``repro.figures.result/v1`` document file."""
+    try:
+        data = _load_json(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return [f"top level must be a dict, got {type(data).__name__}"]
+    return _figure_document_problems(data)
+
+
+def _figure_document_problems(data: dict) -> list[str]:
+    problems: list[str] = []
+    if data.get("schema") != FIGURE_SCHEMA:
+        problems.append(f"schema is {data.get('schema')!r}, expected {FIGURE_SCHEMA!r}")
+    for key in ("figure", "category", "anchor", "title"):
+        if not isinstance(data.get(key), str) or not data.get(key):
+            problems.append(f"{key} must be a non-empty string")
+    if not isinstance(data.get("params"), dict):
+        problems.append("params must be a dict")
+    columns = data.get("columns")
+    if (
+        not isinstance(columns, list)
+        or not columns
+        or any(not isinstance(c, str) for c in columns)
+    ):
+        problems.append("columns must be a non-empty list of strings")
+        columns = []
+    rows = data.get("rows")
+    if not isinstance(rows, list) or not rows:
+        problems.append("rows must be a non-empty list")
+        rows = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or not row:
+            problems.append(f"rows[{i}] is not a non-empty dict")
+        elif columns and not set(row) <= set(columns):
+            extra = sorted(set(row) - set(columns))
+            problems.append(f"rows[{i}] has keys outside columns: {', '.join(extra)}")
+    meta = data.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("meta must be a dict")
+    else:
+        missing = FIGURE_META_KEYS - set(meta)
+        if missing:
+            problems.append(f"meta missing keys: {', '.join(sorted(missing))}")
+    _walk_finite(data, "$", problems)
+    return problems
+
+
+def validate_vega_file(path: Path) -> list[str]:
+    """All problems with one Vega-Lite export from the figure registry."""
+    try:
+        data = _load_json(path)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if not isinstance(data, dict):
+        return [f"top level must be a dict, got {type(data).__name__}"]
+    problems: list[str] = []
+    if data.get("$schema") != VEGA_LITE_SCHEMA:
+        problems.append(
+            f"$schema is {data.get('$schema')!r}, expected {VEGA_LITE_SCHEMA!r}"
+        )
+    values = data.get("data", {}).get("values") if isinstance(data.get("data"), dict) else None
+    if not isinstance(values, list) or not values:
+        problems.append("data.values must be a non-empty list")
+    elif any(not isinstance(v, dict) for v in values):
+        problems.append("data.values entries must be dicts")
+    if not data.get("mark"):
+        problems.append("mark is missing")
+    encoding = data.get("encoding")
+    if not isinstance(encoding, dict) or not encoding:
+        problems.append("encoding must be a non-empty dict")
+    else:
+        for channel, enc in encoding.items():
+            if not isinstance(enc, dict) or "field" not in enc or "type" not in enc:
+                problems.append(f"encoding.{channel} needs field and type")
+    _walk_finite(data, "$", problems)
+    return problems
+
+
 def _reject_constant(token: str):
     raise ValueError(f"non-finite JSON constant {token!r}")
 
@@ -320,6 +418,9 @@ def validate_file(path: Path) -> list[str]:
         return [f"top level must be a dict or list, got {type(data).__name__}"]
     if not data:
         return ["top level is empty"]
+    # registry documents are self-describing: apply the uniform-schema checks
+    if isinstance(data, dict) and data.get("schema") == FIGURE_SCHEMA:
+        return _figure_document_problems(data)
     if isinstance(data, list):
         for i, row in enumerate(data):
             if not isinstance(row, dict):
@@ -343,7 +444,7 @@ def main(argv: list[str] | None = None) -> int:
     positional: list[str] = []
     i = 0
     while i < len(argv):
-        if argv[i] in ("--trace", "--metrics", "--ledger", "--history"):
+        if argv[i] in ("--trace", "--metrics", "--ledger", "--history", "--figure", "--vega"):
             if i + 1 >= len(argv):
                 print(f"{argv[i]} requires a PATH argument", file=sys.stderr)
                 return 1
@@ -352,6 +453,8 @@ def main(argv: list[str] | None = None) -> int:
                 "--metrics": validate_metrics_file,
                 "--ledger": validate_ledger_file,
                 "--history": validate_history_file,
+                "--figure": validate_figure_file,
+                "--vega": validate_vega_file,
             }[argv[i]]
             checks.append((Path(argv[i + 1]), kind))
             i += 2
@@ -367,7 +470,7 @@ def main(argv: list[str] | None = None) -> int:
             failed += 1
             print(f"FAIL {path.name}: {problem}", file=sys.stderr)
     if checks and not positional:
-        print(f"validated {checked} observability files, {failed} problems")
+        print(f"validated {checked} artifact files, {failed} problems")
         return 1 if failed else 0
 
     results_dir = (

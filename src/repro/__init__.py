@@ -52,7 +52,7 @@ from .experiments import LerResult, SurgeryLerConfig, run_surgery_ler
 from .noise import GOOGLE, IBM, QUERA, HardwareConfig, NoiseModel
 
 # single source of truth check: tests assert this matches pyproject.toml
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = [
     "POLICIES",

@@ -48,6 +48,7 @@ from .base import DEFAULT_CONFIG, LintContext, Rule, find_root, load_config
 from .contracts import (
     ContractBackendRegistry,
     ContractEnvDocs,
+    ContractFigureRegistry,
     ContractParityTests,
     ContractWorkerGlobals,
 )
@@ -130,6 +131,7 @@ for _rule in (
     ContractBackendRegistry(),
     ContractWorkerGlobals(),
     ContractEnvDocs(),
+    ContractFigureRegistry(),
     SaltDrift(),
 ):
     register(_rule)

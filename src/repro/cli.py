@@ -30,12 +30,20 @@ Usage::
     python -m repro.cli bench record benchmarks/results/decode_throughput.json
     python -m repro.cli bench compare --strict
 
+    python -m repro.cli figures list
+    python -m repro.cli figures build fig14_ibm --store results/store
+    python -m repro.cli figures build --all --format json --format csv --format vega
+    python -m repro.cli figures build fig19 --shots 50000 --param "taus_ns=[500.0]"
+
 Each driver prints its rows and (with ``--out``) writes JSON next to the
 benchmark harness's output format.  The ``sweep`` subcommands drive the
 resumable orchestrator over a content-addressed result store (see
 ``docs/SWEEPS.md`` for the spec format and store layout); ``runs`` and
 ``sweep watch`` read the run ledger it records under ``runs/``; ``bench``
-maintains the perf-trajectory history (docs/OBSERVABILITY.md, docs/CI.md).
+maintains the perf-trajectory history (docs/OBSERVABILITY.md, docs/CI.md);
+``figures`` is the declarative registry front end (docs/FIGURES.md): every
+paper figure/table is a registered ``FigureSpec`` built through the active
+result store — decode on miss, zero decoding on a warm store.
 """
 
 from __future__ import annotations
@@ -175,6 +183,105 @@ def _lint(args) -> int:
             file=sys.stderr,
         )
     return 1 if report.findings else 0
+
+
+def _figures(args) -> int:
+    """Handle ``repro figures list|build`` (docs/FIGURES.md)."""
+    from . import figures as figures_pkg
+    from .figures import export as figures_export
+
+    if args.figures_command == "list":
+        rows = []
+        for name in figures_pkg.names():
+            spec = figures_pkg.get(name)
+            aliases = sorted(a for a, c in figures_pkg.ALIASES.items() if c == name)
+            rows.append({
+                "name": name,
+                "category": spec.category,
+                "anchor": spec.anchor,
+                "title": spec.title,
+                "aliases": aliases,
+                "params": figures_export.plain(dict(spec.params)),
+            })
+        if args.format == "json":
+            print(json.dumps(rows, indent=2))
+            return 0
+        name_w = max(len(r["name"]) for r in rows)
+        cat_w = max(len(r["category"]) for r in rows)
+        anchor_w = max(len(r["anchor"]) for r in rows)
+        for r in rows:
+            alias = f"  (alias: {', '.join(r['aliases'])})" if r["aliases"] else ""
+            print(
+                f"{r['name']:<{name_w}}  {r['category']:<{cat_w}}  "
+                f"{r['anchor']:<{anchor_w}}  {r['title']}{alias}"
+            )
+        return 0
+
+    names = list(args.names)
+    if args.all and names:
+        print("figures build: give NAME... or --all, not both", file=sys.stderr)
+        return 2
+    if args.all:
+        names = figures_pkg.names()
+    if not names:
+        print("figures build: give NAME... or --all", file=sys.stderr)
+        return 2
+    try:
+        canonical = [figures_pkg.canonical_name(n) for n in names]
+    except KeyError as exc:
+        print(f"figures build: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    overrides = {}
+    if args.shots is not None:
+        overrides["shots"] = args.shots
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.distances is not None:
+        distances = tuple(int(x) for x in args.distances.split(",") if x.strip())
+        if not distances:
+            print("figures build: --distances needs at least one value", file=sys.stderr)
+            return 2
+        # single-distance specs take the deepest requested code
+        overrides["distances"] = distances
+        overrides["distance"] = distances[-1]
+    for kv in args.param or []:
+        key, sep, value = kv.partition("=")
+        if not sep or not key:
+            print(f"figures build: --param expects KEY=VALUE, got {kv!r}", file=sys.stderr)
+            return 2
+        try:
+            overrides[key] = json.loads(value)
+        except ValueError:
+            overrides[key] = value
+
+    # exact-name builds validate override keys against the spec schema;
+    # bulk builds apply each override wherever the schema has the key
+    strict = len(canonical) == 1
+    store = False if args.no_store else _resolve_store(args.store)
+    formats = args.format or ["json"]
+    for name in canonical:
+        spec = figures_pkg.get(name)
+        try:
+            result = figures_pkg.build_figure(
+                name,
+                overrides,
+                store=store,
+                workers=args.workers,
+                speculate=args.speculate,
+                strict=strict,
+            )
+        except ValueError as exc:
+            print(f"figures build: {exc}", file=sys.stderr)
+            return 2
+        doc = result.document()
+        paths = figures_pkg.write_outputs(doc, args.out, formats, hints=spec.vega)
+        source = "store" if result.served_from_store else "built"
+        print(
+            f"[{name}] {len(result.rows)} rows ({source}) -> "
+            + ", ".join(str(p) for p in paths)
+        )
+    return 0
 
 
 def _resolve_store(path):
@@ -999,6 +1106,77 @@ def main(argv=None) -> int:
         "--format", choices=("text", "json"), default="text"
     )
 
+    figuresp = sub.add_parser(
+        "figures",
+        help="declarative figure registry: list specs / build artifacts"
+        " through the result store (docs/FIGURES.md)",
+    )
+    figures_sub = figuresp.add_subparsers(dest="figures_command", required=True)
+    figures_list = figures_sub.add_parser(
+        "list", help="list every registered figure spec (name, category, anchor)"
+    )
+    figures_list.add_argument("--format", choices=("text", "json"), default="text")
+    figures_build = figures_sub.add_parser(
+        "build",
+        help="build figure artifacts; warm-store rebuilds decode nothing",
+    )
+    figures_build.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="canonical figure names or aliases (see 'figures list')",
+    )
+    figures_build.add_argument(
+        "--all", action="store_true", help="build every registered figure"
+    )
+    figures_build.add_argument(
+        "--format",
+        action="append",
+        choices=("json", "csv", "vega"),
+        default=None,
+        metavar="FMT",
+        help="artifact format, repeatable (default: json; vega = themed"
+        " Vega-Lite spec)",
+    )
+    figures_build.add_argument(
+        "--out",
+        type=Path,
+        default=Path("figures"),
+        help="output directory (default: ./figures)",
+    )
+    figures_build.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result store root (default: REPRO_STORE_ROOT or ./.repro-store)",
+    )
+    figures_build.add_argument(
+        "--no-store",
+        action="store_true",
+        help="build storeless: no cache reads/writes, always decode"
+        " (the benchmark harness's shared-sequential-stream numbers)",
+    )
+    figures_build.add_argument("--shots", type=int, default=None)
+    figures_build.add_argument("--seed", type=int, default=None)
+    figures_build.add_argument(
+        "--distances",
+        default=None,
+        help="comma-separated distances; single-distance specs use the last",
+    )
+    figures_build.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        help="spec parameter override (VALUE parsed as JSON, else kept as"
+        " a string); repeatable",
+    )
+    figures_build.add_argument(
+        "--workers", type=int, default=1, help="decode workers for store pre-warm"
+    )
+    figures_build.add_argument(
+        "--speculate", type=int, default=0, help="speculative batch depth for pre-warm"
+    )
+
     runp = sub.add_parser("run", help="run one driver (or 'all')")
     runp.add_argument("figure", help="driver key from 'list', or 'all'")
     runp.add_argument("--shots", type=int, default=None)
@@ -1070,6 +1248,9 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _trace_summarize(args)
+
+    if args.command == "figures":
+        return _figures(args)
 
     # route the decode-engine knobs to every driver via the process defaults,
     # restoring them afterwards so repeated in-process invocations don't

@@ -1,0 +1,138 @@
+"""Public benchmark-harness knobs and recording helpers.
+
+Promoted from ``benchmarks/_helpers.py`` so the env-knob catalogue is an
+importable, lint-checkable part of the package (``contract-env-docs``
+requires every knob below to be documented in docs/; see docs/FIGURES.md)
+and so the CLI and the pytest harness share one implementation.
+
+Scaling knobs (environment variables):
+
+* ``REPRO_BENCH_SHOTS``     — shots per LER configuration (default 12000)
+* ``REPRO_BENCH_DISTANCES`` — comma-separated distances (default "3,5")
+* ``REPRO_BENCH_SEED``      — RNG seed (default 2025)
+* ``REPRO_BENCH_RESULTS``   — results directory override (default
+  ``benchmarks/results`` under the current working directory)
+
+The paper's full-scale runs used 100M shots and d up to 15 on 128 cores for
+days; these defaults finish on a laptop while preserving the comparisons.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from . import export
+
+__all__ = [
+    "bench_distances",
+    "bench_seed",
+    "bench_shots",
+    "default_results_dir",
+    "record",
+    "record_figure",
+    "record_merge",
+    "run_once",
+]
+
+
+def bench_shots(default: int = 12_000) -> int:
+    """Shots per LER configuration (``REPRO_BENCH_SHOTS``)."""
+    return int(os.environ.get("REPRO_BENCH_SHOTS", default))
+
+
+def bench_distances(default=(3, 5)) -> tuple[int, ...]:
+    """Code distances to sweep (``REPRO_BENCH_DISTANCES``, comma-separated)."""
+    raw = os.environ.get("REPRO_BENCH_DISTANCES")
+    if raw is None:
+        return tuple(default)
+    return tuple(int(x) for x in raw.split(",") if x.strip())
+
+
+def bench_seed() -> int:
+    """Deterministic RNG seed for every benchmark (``REPRO_BENCH_SEED``)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", 2025))
+
+
+def default_results_dir() -> Path:
+    """Results directory: ``REPRO_BENCH_RESULTS`` or ``benchmarks/results``."""
+    raw = os.environ.get("REPRO_BENCH_RESULTS")
+    if raw:
+        return Path(raw)
+    return Path("benchmarks") / "results"
+
+
+def record(name: str, data, *, results_dir: Path | str | None = None) -> Path:
+    """Persist benchmark output as ``<results_dir>/<name>.json`` and echo it.
+
+    Dict-shaped outputs get a uniform ``meta`` provenance block (python,
+    platform, cpu count, store salt, timestamp) stamped in — the same keys
+    ``repro bench record`` carries into the perf history, so ad-hoc results
+    and history entries are comparable (``meta`` is excluded from the
+    history's numeric series).  Returns the written path.
+    """
+    if isinstance(data, dict):
+        from ..obs import provenance_meta
+
+        data = dict(data, meta=provenance_meta())
+    results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{name}.json"
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, default=_jsonable)
+    print(f"\n[{name}] -> {path}")
+    return path
+
+
+def record_merge(name: str, sections: dict, *, results_dir: Path | str | None = None) -> Path:
+    """Merge per-section rows into one results JSON.
+
+    Lets several benchmark tests contribute to the same file (e.g.
+    ``decode_backends.json``: one section per decoder path) without the
+    last writer clobbering the others.  A legacy flat layout (a single
+    top-level row) is discarded on first merge.  Returns the written path.
+    """
+    results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+    path = results_dir / f"{name}.json"
+    merged = {}
+    if path.exists():
+        try:
+            with open(path) as f:
+                merged = json.load(f)
+        except ValueError:
+            merged = {}
+    if not isinstance(merged, dict) or "config" in merged:
+        merged = {}  # legacy flat layout: replaced by per-section rows
+    merged.pop("meta", None)  # restamped by record() with fresh provenance
+    merged.update(sections)
+    return record(name, merged, results_dir=results_dir)
+
+
+def record_figure(result, *, results_dir: Path | str | None = None) -> Path:
+    """Write a built figure's uniform result document to the results dir.
+
+    ``result`` is the :class:`repro.figures.build.FigureResult` returned by
+    ``build_figure``; the document lands at ``<results_dir>/<name>.json``
+    in the shared :data:`repro.figures.export.RESULT_SCHEMA` shape — the
+    only sanctioned way a figure benchmark persists its rows.
+    """
+    doc = result.document()
+    results_dir = Path(results_dir) if results_dir is not None else default_results_dir()
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{doc['figure']}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"\n[{doc['figure']}] -> {path}")
+    return path
+
+
+def _jsonable(obj):
+    plain = export.plain(obj)
+    if isinstance(plain, (dict,)) and hasattr(obj, "__dict__"):
+        return {k: v for k, v in plain.items() if not k.startswith("_")}
+    return plain
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -66,7 +66,7 @@ def marker_map(path: Path) -> dict:
 def test_registry_names_and_available():
     names = analysis.names()
     assert names == sorted(names)
-    assert len(names) == 13
+    assert len(names) == 14
     assert analysis.available() == names
     for family in ("determinism-time", "contract-parity-tests", "salt-drift"):
         assert family in names
@@ -207,11 +207,15 @@ def make_sandbox(tmp_path: Path) -> Path:
     """Copy the lint-relevant slice of the repo into a tmp root."""
     box = tmp_path / "box"
     (box / "tests").mkdir(parents=True)
+    (box / "benchmarks").mkdir()
     shutil.copytree(
         REPO / "src", box / "src", ignore=shutil.ignore_patterns("__pycache__")
     )
     shutil.copytree(REPO / "docs", box / "docs")
     shutil.copy2(REPO / "tests" / "test_kernels.py", box / "tests" / "test_kernels.py")
+    # the figure-registry contract cross-references the benchmark harness
+    for bench in (REPO / "benchmarks").glob("*.py"):
+        shutil.copy2(bench, box / "benchmarks" / bench.name)
     shutil.copy2(REPO / "pyproject.toml", box / "pyproject.toml")
     return box
 
@@ -308,6 +312,34 @@ def test_mutation_undocumented_env_knob_fails(tmp_path):
     )
     report = run_lint(root=box, only=["contract-env-docs"])
     assert any("REPRO_UNDOCUMENTED_PROBE" in f.message for f in report.findings)
+
+
+def test_mutation_spec_without_benchmark_wrapper_fails(tmp_path):
+    box = make_sandbox(tmp_path)
+    builders = box / "src" / "repro" / "figures" / "builders.py"
+    builders.write_text(
+        builders.read_text()
+        + "\nregister(FigureSpec(name=\"fig999\", category=\"analytic\","
+        "\n    anchor=\"Fig. 999\", title=\"probe\", builder=_fig10,"
+        "\n    params={}, columns=(\"x\",)))\n"
+    )
+    report = run_lint(root=box, only=["contract-figure-registry"])
+    assert any(
+        f.path == "src/repro/figures/builders.py" and "fig999" in f.message
+        for f in report.findings
+    )
+
+
+def test_mutation_orphan_benchmark_fails(tmp_path):
+    box = make_sandbox(tmp_path)
+    orphan = box / "benchmarks" / "test_fig998_orphan.py"
+    orphan.write_text("def test_fig998(benchmark):\n    pass\n")
+    report = run_lint(root=box, only=["contract-figure-registry"])
+    assert any(
+        f.path == "benchmarks/test_fig998_orphan.py"
+        and "build_figure" in f.message
+        for f in report.findings
+    )
 
 
 def test_baseline_silences_known_findings(tmp_path, capsys):

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.casestudies",
     "repro.experiments",
     "repro.analysis",
+    "repro.figures",
 ]
 
 
